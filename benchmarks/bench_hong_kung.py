@@ -1,0 +1,74 @@
+"""Experiment HK — Hong-Kung context: matmul and FFT I/O curves.
+
+Red-blue pebbling's original purpose: lower-bounding memory traffic of
+compute kernels.  We pebble the naive matmul and FFT butterfly DAGs with
+the Belady fixed-order pebbler across cache sizes and check the measured
+traffic (an upper bound on the optimum) sits above the classic reference
+curves and falls with R in the predicted shape.
+
+Run standalone:  python benchmarks/bench_hong_kung.py
+"""
+
+from repro import PebblingInstance, PebblingSimulator
+from repro.analysis import render_table
+from repro.generators import butterfly_dag, matmul_dag
+from repro.heuristics import fixed_order_schedule
+from repro.solvers import fft_io_lower_bound, matmul_io_lower_bound
+
+
+def measure(dag, r_values):
+    out = []
+    for r in r_values:
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=r)
+        cost = PebblingSimulator(inst).run(
+            fixed_order_schedule(inst), require_complete=True
+        ).cost
+        out.append((r, cost))
+    return out
+
+
+def reproduce():
+    rows = []
+    n = 4
+    mat = matmul_dag(n)
+    for r, q in measure(mat, [4, 8, 16, 32]):
+        rows.append(
+            {
+                "kernel": f"matmul({n})",
+                "R": r,
+                "measured Q": str(q),
+                "reference bound": f"{matmul_io_lower_bound(n, r):.1f}",
+            }
+        )
+    k = 4
+    fft = butterfly_dag(k)
+    for r, q in measure(fft, [4, 8, 16]):
+        rows.append(
+            {
+                "kernel": f"fft(2^{k})",
+                "R": r,
+                "measured Q": str(q),
+                "reference bound": f"{fft_io_lower_bound(1 << k, r):.1f}",
+            }
+        )
+    return rows
+
+
+def test_hong_kung_shapes(benchmark):
+    from fractions import Fraction
+
+    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    for kernel in ("matmul(4)", "fft(2^4)"):
+        series = [r for r in rows if r["kernel"] == kernel]
+        qs = [Fraction(r["measured Q"]) for r in series]
+        # traffic falls monotonically with cache size
+        assert qs == sorted(qs, reverse=True)
+        # and stays above the reference curve (minus the additive R slack
+        # the matmul bound carries)
+        for r in series:
+            assert float(Fraction(r["measured Q"])) >= float(r["reference bound"]) - r["R"]
+
+
+if __name__ == "__main__":
+    print(render_table(reproduce(), title="Hong-Kung reference curves vs "
+                                          "measured traffic"))

@@ -1,0 +1,109 @@
+"""Experiment S3 — Section 3 bounds: feasibility, (2*Delta+1)*n, max drop.
+
+Measures the three elementary laws every later result leans on:
+
+* R >= Delta + 1 is exactly the feasibility frontier;
+* the naive topological strategy realises cost <= (2*Delta+1)*n in every
+  model, on every DAG;
+* opt(R-1) <= opt(R) + 2n: an extra red pebble saves at most 2n.
+
+Run standalone:  python benchmarks/bench_sec3_bounds.py
+"""
+
+import pytest
+
+from repro import InfeasibleInstanceError, PebblingInstance, PebblingSimulator
+from repro.analysis import render_table
+from repro.generators import (
+    binary_tree_dag,
+    butterfly_dag,
+    grid_stencil_dag,
+    pyramid_dag,
+)
+from repro.heuristics import topological_schedule
+from repro.solvers import solve_optimal, upper_bound_naive
+
+DAGS = [
+    ("pyramid(4)", pyramid_dag(4)),
+    ("grid(4x4)", grid_stencil_dag(4, 4)),
+    ("butterfly(3)", butterfly_dag(3)),
+    ("tree(8)", binary_tree_dag(8)),
+]
+
+
+def reproduce():
+    rows = []
+    for name, dag in DAGS:
+        for model in ("base", "oneshot", "nodel", "compcost"):
+            inst = PebblingInstance(
+                dag=dag, model=model, red_limit=dag.min_red_pebbles
+            )
+            cost = PebblingSimulator(inst).run(
+                topological_schedule(inst), require_complete=True
+            ).cost
+            bound = upper_bound_naive(dag, model)
+            rows.append(
+                {
+                    "dag": name,
+                    "model": model,
+                    "naive cost": str(cost),
+                    "(2D+1)n bound": str(bound),
+                    "within": cost <= bound,
+                }
+            )
+    return rows
+
+
+def test_sec3_naive_bound_universal(benchmark):
+    rows = benchmark(reproduce)
+    assert all(r["within"] for r in rows)
+
+
+def test_sec3_feasibility_frontier(benchmark):
+    def run():
+        results = []
+        for name, dag in DAGS:
+            # R = Delta is infeasible, R = Delta + 1 pebbles fine
+            try:
+                PebblingInstance(
+                    dag=dag, model="oneshot", red_limit=dag.max_indegree
+                )
+                feasible_below = True
+            except InfeasibleInstanceError:
+                feasible_below = False
+            inst = PebblingInstance(
+                dag=dag, model="oneshot", red_limit=dag.max_indegree + 1
+            )
+            ok = PebblingSimulator(inst).run(
+                topological_schedule(inst), require_complete=True
+            ).complete
+            results.append((feasible_below, ok))
+        return results
+
+    results = benchmark(run)
+    assert all(not below and ok for below, ok in results)
+
+
+def test_sec3_max_drop_2n(benchmark):
+    def run():
+        dag = pyramid_dag(2)
+        out = []
+        for r in (3, 4):
+            c_r = solve_optimal(
+                PebblingInstance(dag=dag, model="oneshot", red_limit=r),
+                return_schedule=False,
+            ).cost
+            c_r1 = solve_optimal(
+                PebblingInstance(dag=dag, model="oneshot", red_limit=r + 1),
+                return_schedule=False,
+            ).cost
+            out.append((c_r, c_r1, dag.n_nodes))
+        return out
+
+    for c_r, c_r1, n in benchmark(run):
+        assert c_r <= c_r1 + 2 * n
+
+
+if __name__ == "__main__":
+    print(render_table(reproduce(), title="Section 3: (2*Delta+1)*n bound, "
+                                          "all models x DAGs"))

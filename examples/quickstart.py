@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quickstart: play a red-blue pebble game by hand, then let solvers play.
+
+The red-blue pebble game (Hong & Kung 1981; Papp & Wattenhofer, SPAA 2020)
+models a computation DAG executed on a two-level memory hierarchy:
+
+* a *red* pebble  = the value sits in fast memory (cache), limited to R;
+* a *blue* pebble = the value sits in slow memory (RAM/disk), unlimited;
+* moving a value between the levels costs 1; computing is (nearly) free.
+
+This script builds a tiny DAG, prices a hand-written schedule in all four
+model variants, and compares the exact optimum with heuristics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ComputationDAG,
+    Compute,
+    Delete,
+    Load,
+    PebblingInstance,
+    PebblingSimulator,
+    Store,
+)
+from repro.heuristics import greedy_pebble, topological_schedule
+from repro.solvers import solve_optimal, upper_bound_naive
+
+
+def main() -> None:
+    # A small expression DAG:  (a+b) * (b+c)  ->  out
+    #   a   b   c
+    #    \ / \ /
+    #    s1   s2
+    #      \ /
+    #      out
+    dag = ComputationDAG(
+        [
+            ("a", "s1"), ("b", "s1"),
+            ("b", "s2"), ("c", "s2"),
+            ("s1", "out"), ("s2", "out"),
+        ]
+    )
+    print(f"DAG: {dag}")
+    print(f"minimum feasible R = Delta + 1 = {dag.min_red_pebbles}")
+
+    # ------------------------------------------------------------------
+    # 1. A hand-written pebbling with R = 3 red pebbles.
+    # ------------------------------------------------------------------
+    # With only 3 red slots we cannot hold a, b, c and the sums at once:
+    # something must spill to slow memory (a Store) and come back (a Load).
+    schedule = [
+        Compute("a"), Compute("b"), Compute("s1"),   # a b s1 red
+        Delete("a"),                                  # a is dead
+        Compute("c"),                                 # b s1 c ... full!
+        Store("s1"),                                  # spill s1 -> blue
+        Compute("s2"),                                # b c s2
+        Delete("b"), Delete("c"),
+        Load("s1"),                                   # s1 back to red
+        Compute("out"),
+    ]
+
+    for model in ("base", "oneshot", "nodel", "compcost"):
+        inst = PebblingInstance(dag=dag, model=model, red_limit=3)
+        if model == "nodel":
+            # deletions are illegal in nodel: replace them with stores
+            legal = [
+                Store(m.node) if isinstance(m, Delete) else m for m in schedule
+            ]
+        else:
+            legal = schedule
+        result = PebblingSimulator(inst).run(legal, require_complete=True)
+        print(
+            f"hand-written schedule under {model:9s}: cost={str(result.cost):7s}"
+            f" ({result.breakdown.loads} loads, {result.breakdown.stores} stores,"
+            f" {result.breakdown.computes} computes)"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. Solvers: exact optimum vs greedy vs the naive baseline.
+    # ------------------------------------------------------------------
+    inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+    optimal = solve_optimal(inst)
+    greedy = greedy_pebble(inst)
+    baseline = PebblingSimulator(inst).run(
+        topological_schedule(inst), require_complete=True
+    )
+    print()
+    print(f"oneshot, R=3")
+    print(f"  exact optimum : {optimal.cost}  ({optimal.length} moves)")
+    print(f"  greedy        : {greedy.cost}")
+    print(f"  naive baseline: {baseline.cost}"
+          f"  (guaranteed <= (2*Delta+1)*n = {upper_bound_naive(dag)})")
+    print(f"  optimal schedule: {optimal.schedule.compact_str()}")
+
+    # ------------------------------------------------------------------
+    # 3. The time-memory tradeoff: more cache, fewer transfers.
+    # ------------------------------------------------------------------
+    print()
+    print("opt(R) as the cache grows:")
+    for r in range(3, 6):
+        cost = solve_optimal(inst.with_red_limit(r), return_schedule=False).cost
+        print(f"  R={r}: optimal cost {cost}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-517
+editable installs (which build a wheel) fail.  This shim lets pip fall back
+to the legacy ``setup.py develop`` editable path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Board visualisation: render a pebbling as an ASCII timeline.
+
+For teaching, debugging and the examples: one row per move, one column
+per DAG node, a glyph per pebble state —
+
+    ``R``  red pebble (fast memory)
+    ``b``  blue pebble (slow memory)
+    ``.``  computed at some point, currently unpebbled
+    `` ``  never computed
+
+The renderer replays the schedule through the simulator, so it also
+serves as a visual legality check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.dag import Node
+from ..core.instance import PebblingInstance
+from ..core.moves import Move
+from ..core.simulator import PebblingSimulator
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    instance: PebblingInstance,
+    schedule: Iterable[Move],
+    *,
+    nodes: Optional[Sequence[Node]] = None,
+    max_steps: int = 200,
+) -> str:
+    """Render the evolution of the board, one line per executed move.
+
+    ``nodes`` fixes the column order (default: topological).  Schedules
+    longer than ``max_steps`` are elided in the middle.
+    """
+    dag = instance.dag
+    columns = list(nodes) if nodes is not None else list(dag.topological_order())
+    missing = [v for v in columns if v not in dag]
+    if missing:
+        raise ValueError(f"unknown nodes in column list: {missing[:3]!r}")
+
+    sim = PebblingSimulator(instance)
+    trace = sim.trace(schedule)
+
+    header_labels = [str(v) for v in columns]
+    width = max((len(s) for s in header_labels), default=1)
+    width = min(width, 10)
+
+    def cell(text: str) -> str:
+        return text[:width].center(width)
+
+    lines: List[str] = []
+    move_col = max(len(str(m)) for m, _, _ in trace) if trace else 4
+    move_col = min(max(move_col, 4), 18)
+    lines.append(" " * (move_col + 3) + " ".join(cell(s) for s in header_labels))
+
+    def board_line(move, state, cost) -> str:
+        glyphs = []
+        for v in columns:
+            if v in state.red:
+                glyphs.append(cell("R"))
+            elif v in state.blue:
+                glyphs.append(cell("b"))
+            elif v in state.computed:
+                glyphs.append(cell("."))
+            else:
+                glyphs.append(cell(""))
+        return f"{str(move)[:move_col]:<{move_col}} | " + " ".join(glyphs) + f" | cost {cost}"
+
+    if len(trace) <= max_steps:
+        shown = [(i, t) for i, t in enumerate(trace)]
+        for _, (move, state, cost) in shown:
+            lines.append(board_line(move, state, cost))
+    else:
+        head = max_steps // 2
+        tail = max_steps - head
+        for move, state, cost in trace[:head]:
+            lines.append(board_line(move, state, cost))
+        lines.append(f"... ({len(trace) - head - tail} moves elided) ...")
+        for move, state, cost in trace[-tail:]:
+            lines.append(board_line(move, state, cost))
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Command-line interface: ``repro-pebble`` / ``python -m repro``.
+
+Subcommands
+-----------
+info       describe a DAG (from JSON or a built-in generator)
+solve      exact optimal pebbling of a (small) instance
+greedy     run a Section 8 greedy rule
+baseline   the naive (2*Delta+1)*n topological strategy
+tradeoff   opt(R) curve of the Figure 3 construction
+hampath    Theorem 2 reduction: decide Hamiltonian path via pebbling
+table1     print Table 1 (operation costs per model)
+table2     print Table 2 (model properties)
+
+Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
+``grid:RxC``, ``butterfly:K``, ``matmul:N``, or ``@file.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .analysis.ascii_plots import ascii_plot, render_table
+from .analysis.tables import table1_rows, table2_rows
+from .core.dag import ComputationDAG
+from .core.instance import PebblingInstance
+from .core.simulator import PebblingSimulator
+from .generators import (
+    binary_tree_dag,
+    butterfly_dag,
+    chain_dag,
+    grid_stencil_dag,
+    matmul_dag,
+    pyramid_dag,
+    random_graph,
+)
+from .heuristics import greedy_pebble, topological_schedule
+
+__all__ = ["main"]
+
+
+def _load_dag(spec: str) -> ComputationDAG:
+    if spec.startswith("@"):
+        from .io.serialization import dag_from_json
+
+        with open(spec[1:], "r", encoding="utf-8") as fh:
+            return dag_from_json(fh.read())
+    kind, _, arg = spec.partition(":")
+    if kind == "pyramid":
+        return pyramid_dag(int(arg))
+    if kind == "chain":
+        return chain_dag(int(arg))
+    if kind == "tree":
+        return binary_tree_dag(int(arg))
+    if kind == "grid":
+        r, _, c = arg.partition("x")
+        return grid_stencil_dag(int(r), int(c))
+    if kind == "butterfly":
+        return butterfly_dag(int(arg))
+    if kind == "matmul":
+        return matmul_dag(int(arg))
+    raise SystemExit(f"unknown DAG spec {spec!r}")
+
+
+def _instance(args) -> PebblingInstance:
+    dag = _load_dag(args.dag)
+    red = args.red if args.red is not None else dag.min_red_pebbles
+    return PebblingInstance(dag=dag, model=args.model, red_limit=red)
+
+
+def _add_instance_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dag", required=True, help="generator spec or @file.json")
+    p.add_argument(
+        "--model",
+        default="oneshot",
+        choices=["base", "oneshot", "nodel", "compcost"],
+    )
+    p.add_argument("--red", type=int, default=None, help="R (default: Delta+1)")
+
+
+def cmd_info(args) -> int:
+    dag = _load_dag(args.dag)
+    print(f"nodes        : {dag.n_nodes}")
+    print(f"edges        : {dag.n_edges}")
+    print(f"max indegree : {dag.max_indegree}")
+    print(f"min red (R)  : {dag.min_red_pebbles}")
+    print(f"sources      : {len(dag.sources)}")
+    print(f"sinks        : {len(dag.sinks)}")
+    print(f"depth        : {dag.depth()}")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    from .solvers.exact import solve_optimal
+
+    inst = _instance(args)
+    result = solve_optimal(inst, budget=args.budget)
+    print(f"instance : {inst.describe()}")
+    print(f"optimal  : {result.cost}")
+    print(f"length   : {result.length} moves")
+    print(f"expanded : {result.expanded} states")
+    if args.show_schedule:
+        print(result.schedule.compact_str())
+    return 0
+
+
+def cmd_greedy(args) -> int:
+    inst = _instance(args)
+    result = greedy_pebble(inst, args.rule)
+    print(f"instance : {inst.describe()}")
+    print(f"rule     : {result.rule.value}")
+    print(f"cost     : {result.cost}")
+    print(f"moves    : {len(result.schedule)}")
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    inst = _instance(args)
+    sched = topological_schedule(inst)
+    res = PebblingSimulator(inst).run(sched, require_complete=True)
+    from .solvers.bounds import upper_bound_naive
+
+    print(f"instance : {inst.describe()}")
+    print(f"cost     : {res.cost} (bound {upper_bound_naive(inst.dag, inst.model)})")
+    return 0
+
+
+def cmd_tradeoff(args) -> int:
+    from .core.models import Model
+    from .gadgets.tradeoff import optimal_tradeoff_schedule, tradeoff_dag
+
+    td = tradeoff_dag(args.d, args.chain)
+    points = []
+    for i in range(args.d + 1):
+        r = args.d + 2 + i
+        inst = PebblingInstance(dag=td.dag, model=Model.ONESHOT, red_limit=r)
+        cost = PebblingSimulator(inst).run(
+            optimal_tradeoff_schedule(td, r, "oneshot"), require_complete=True
+        ).cost
+        points.append((r, float(cost)))
+    print(
+        ascii_plot(
+            {"opt(R)": points},
+            title=f"Figure 4 tradeoff: d={args.d}, chain={args.chain}",
+            x_label="R",
+            y_label="cost",
+        )
+    )
+    return 0
+
+
+def cmd_hampath(args) -> int:
+    from .npc.hamiltonian import has_hamiltonian_path
+    from .reductions.hampath import hampath_reduction
+
+    g = random_graph(args.n, args.p, seed=args.seed)
+    red = hampath_reduction(g, args.model)
+    cost, order = red.optimal_order()
+    threshold = red.decision_threshold()
+    print(f"graph          : n={g.n}, m={g.m} (seed {args.seed})")
+    print(f"pebbling DAG   : {red.dag.n_nodes} nodes, R={red.red_limit}")
+    print(f"optimal cost   : {cost}")
+    print(f"threshold      : {threshold}")
+    print(f"pebbling says  : hamiltonian={cost <= threshold}")
+    print(f"ground truth   : hamiltonian={has_hamiltonian_path(g)}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    print(render_table(table1_rows(), title="Table 1: operation costs per model"))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    print(render_table(table2_rows(), title="Table 2: model properties"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pebble",
+        description="Red-blue pebble games: solvers and hardness experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="describe a DAG")
+    p.add_argument("--dag", required=True)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("solve", help="exact optimal pebbling (small DAGs)")
+    _add_instance_args(p)
+    p.add_argument("--budget", type=int, default=2_000_000)
+    p.add_argument("--show-schedule", action="store_true")
+    p.set_defaults(fn=cmd_solve)
+
+    p = sub.add_parser("greedy", help="greedy pebbling (Section 8 rules)")
+    _add_instance_args(p)
+    p.add_argument(
+        "--rule",
+        default="most-red-inputs",
+        choices=["most-red-inputs", "fewest-blue-inputs", "red-ratio"],
+    )
+    p.set_defaults(fn=cmd_greedy)
+
+    p = sub.add_parser("baseline", help="naive (2D+1)n topological strategy")
+    _add_instance_args(p)
+    p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser("tradeoff", help="Figure 4 tradeoff curve")
+    p.add_argument("--d", type=int, default=4)
+    p.add_argument("--chain", type=int, default=30)
+    p.set_defaults(fn=cmd_tradeoff)
+
+    p = sub.add_parser("hampath", help="Theorem 2 reduction demo")
+    p.add_argument("--n", type=int, default=7)
+    p.add_argument("--p", type=float, default=0.4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--model",
+        default="oneshot",
+        choices=["base", "oneshot", "nodel", "compcost"],
+    )
+    p.set_defaults(fn=cmd_hampath)
+
+    p = sub.add_parser("table1", help="print Table 1")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table2", help="print Table 2")
+    p.set_defaults(fn=cmd_table2)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

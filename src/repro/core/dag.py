@@ -1,0 +1,293 @@
+"""Computation DAGs: the boards on which red-blue pebble games are played.
+
+A :class:`ComputationDAG` is an immutable directed acyclic graph with the
+access patterns pebbling algorithms need precomputed: predecessor and
+successor tuples per node, the source/sink partitions, a topological order,
+and the maximum indegree Delta.  Nodes may be any hashable objects; the
+constructions in :mod:`repro.gadgets` and :mod:`repro.reductions` use
+descriptive tuples/strings so that schedules remain human-readable.
+
+The class deliberately does not depend on networkx for its own algorithms
+(Kahn's algorithm is a dozen lines and keeps the core dependency-free), but
+offers :meth:`to_networkx` / :meth:`from_networkx` interop because test code
+cross-checks against networkx.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
+
+from .errors import CycleError, GraphError
+
+__all__ = ["ComputationDAG", "Node"]
+
+Node = Hashable
+
+
+class ComputationDAG:
+    """An immutable DAG with pebbling-oriented accessors.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs meaning *u is an input of v*.
+    nodes:
+        Optional extra nodes (isolated nodes carry no edges and are both
+        sources and sinks).
+
+    Notes
+    -----
+    Construction validates acyclicity (raising :class:`CycleError`
+    otherwise) and rejects self-loops and duplicate edges.
+    """
+
+    __slots__ = (
+        "_preds",
+        "_succs",
+        "_nodes",
+        "_sources",
+        "_sinks",
+        "_topo",
+        "_max_indegree",
+        "_n_edges",
+    )
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[Node, Node]] = (),
+        nodes: Iterable[Node] = (),
+    ):
+        preds: Dict[Node, List[Node]] = {}
+        succs: Dict[Node, List[Node]] = {}
+        seen_edges = set()
+        n_edges = 0
+
+        def ensure(v: Node) -> None:
+            if v not in preds:
+                preds[v] = []
+                succs[v] = []
+
+        for v in nodes:
+            ensure(v)
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop on node {u!r} is not allowed")
+            if (u, v) in seen_edges:
+                raise GraphError(f"duplicate edge {(u, v)!r}")
+            seen_edges.add((u, v))
+            ensure(u)
+            ensure(v)
+            preds[v].append(u)
+            succs[u].append(v)
+            n_edges += 1
+
+        self._preds: Dict[Node, Tuple[Node, ...]] = {
+            v: tuple(ps) for v, ps in preds.items()
+        }
+        self._succs: Dict[Node, Tuple[Node, ...]] = {
+            v: tuple(ss) for v, ss in succs.items()
+        }
+        self._n_edges = n_edges
+        self._topo: Tuple[Node, ...] = self._kahn()
+        self._nodes: Tuple[Node, ...] = self._topo
+        self._sources: FrozenSet[Node] = frozenset(
+            v for v in self._nodes if not self._preds[v]
+        )
+        self._sinks: FrozenSet[Node] = frozenset(
+            v for v in self._nodes if not self._succs[v]
+        )
+        self._max_indegree = max(
+            (len(ps) for ps in self._preds.values()), default=0
+        )
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _kahn(self) -> Tuple[Node, ...]:
+        """Topological order via Kahn's algorithm; raises CycleError on cycles.
+
+        Seeds are processed in insertion order, which makes the order
+        deterministic for a fixed construction sequence.
+        """
+        indeg = {v: len(ps) for v, ps in self._preds.items()}
+        queue: List[Node] = [v for v in self._preds if indeg[v] == 0]
+        order: List[Node] = []
+        head = 0
+        while head < len(queue):
+            v = queue[head]
+            head += 1
+            order.append(v)
+            for w in self._succs[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if len(order) != len(self._preds):
+            raise CycleError(len(self._preds) - len(order))
+        return tuple(order)
+
+    @classmethod
+    def from_predecessor_map(cls, preds: Mapping[Node, Sequence[Node]]) -> "ComputationDAG":
+        """Build from a ``{node: [inputs...]}`` mapping."""
+        edges = [(u, v) for v, ps in preds.items() for u in ps]
+        return cls(edges=edges, nodes=preds.keys())
+
+    @classmethod
+    def from_networkx(cls, graph) -> "ComputationDAG":
+        """Build from a ``networkx.DiGraph``."""
+        return cls(edges=graph.edges(), nodes=graph.nodes())
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (imported lazily)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self._nodes)
+        for v, ps in self._preds.items():
+            g.add_edges_from((u, v) for u in ps)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (the paper's *n*)."""
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    @property
+    def max_indegree(self) -> int:
+        """The paper's Delta: the largest number of inputs of any node."""
+        return self._max_indegree
+
+    @property
+    def min_red_pebbles(self) -> int:
+        """Smallest feasible R: Delta + 1 (Section 3)."""
+        return self._max_indegree + 1
+
+    @property
+    def sources(self) -> FrozenSet[Node]:
+        """Nodes with no inputs (computable for free at any time)."""
+        return self._sources
+
+    @property
+    def sinks(self) -> FrozenSet[Node]:
+        """Nodes with no outputs; every sink must end up pebbled."""
+        return self._sinks
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in topological order."""
+        return self._nodes
+
+    def topological_order(self) -> Tuple[Node, ...]:
+        """A fixed topological order (deterministic per construction)."""
+        return self._topo
+
+    def predecessors(self, v: Node) -> Tuple[Node, ...]:
+        """The inputs of ``v`` (empty tuple for sources)."""
+        return self._preds[v]
+
+    def successors(self, v: Node) -> Tuple[Node, ...]:
+        """The nodes that consume ``v``."""
+        return self._succs[v]
+
+    def indegree(self, v: Node) -> int:
+        return len(self._preds[v])
+
+    def outdegree(self, v: Node) -> int:
+        return len(self._succs[v])
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._preds
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ComputationDAG(n={self.n_nodes}, m={self.n_edges}, "
+            f"delta={self.max_indegree}, sources={len(self._sources)}, "
+            f"sinks={len(self._sinks)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate over edges as ``(input, consumer)`` pairs."""
+        for v in self._nodes:
+            for u in self._preds[v]:
+                yield (u, v)
+
+    def non_sources(self) -> Tuple[Node, ...]:
+        """Nodes with at least one input, in topological order."""
+        return tuple(v for v in self._topo if self._preds[v])
+
+    def ancestors(self, v: Node) -> FrozenSet[Node]:
+        """All strict ancestors of ``v`` (its transitive input closure)."""
+        seen = set()
+        stack = list(self._preds[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._preds[u])
+        return frozenset(seen)
+
+    def descendants(self, v: Node) -> FrozenSet[Node]:
+        """All strict descendants of ``v``."""
+        seen = set()
+        stack = list(self._succs[v])
+        while stack:
+            u = stack.pop()
+            if u not in seen:
+                seen.add(u)
+                stack.extend(self._succs[u])
+        return frozenset(seen)
+
+    def depth(self) -> int:
+        """Length (in edges) of the longest directed path."""
+        depth: Dict[Node, int] = {}
+        best = 0
+        for v in self._topo:
+            d = max((depth[u] + 1 for u in self._preds[v]), default=0)
+            depth[v] = d
+            best = max(best, d)
+        return best
+
+    def relabel(self, mapping: Mapping[Node, Node]) -> "ComputationDAG":
+        """Return a copy with nodes renamed through ``mapping``.
+
+        Nodes absent from the mapping keep their labels.  The mapping must
+        remain injective on the node set.
+        """
+        def m(v: Node) -> Node:
+            return mapping.get(v, v)
+
+        new_nodes = [m(v) for v in self._nodes]
+        if len(set(new_nodes)) != len(new_nodes):
+            raise GraphError("relabeling is not injective")
+        return ComputationDAG(
+            edges=[(m(u), m(v)) for (u, v) in self.edges()],
+            nodes=new_nodes,
+        )

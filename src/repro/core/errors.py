@@ -1,0 +1,121 @@
+"""Exception hierarchy for the red-blue pebbling engine.
+
+All library errors derive from :class:`PebblingError` so that callers can
+catch everything the library raises with a single ``except`` clause.  The
+more specific subclasses carry structured context (the offending move, the
+state it was applied to, ...) to make solver debugging tractable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PebblingError",
+    "GraphError",
+    "CycleError",
+    "IllegalMoveError",
+    "CapacityExceededError",
+    "RecomputationError",
+    "DeletionForbiddenError",
+    "IncompletePebblingError",
+    "InfeasibleInstanceError",
+    "SolverError",
+    "BudgetExceededError",
+]
+
+
+class PebblingError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class GraphError(PebblingError):
+    """A computation DAG failed structural validation."""
+
+
+class CycleError(GraphError):
+    """The supplied edge set contains a directed cycle, so it is not a DAG."""
+
+    def __init__(self, remaining: int):
+        self.remaining = remaining
+        super().__init__(
+            f"graph is not acyclic: {remaining} node(s) remain after Kahn peeling"
+        )
+
+
+class IllegalMoveError(PebblingError):
+    """A move violated the rules of the active pebbling model.
+
+    Attributes
+    ----------
+    move:
+        The offending move.
+    reason:
+        Human-readable explanation of the violated rule.
+    step:
+        Index of the move within the schedule, if executed as part of one.
+    """
+
+    def __init__(self, move, reason: str, step: "int | None" = None):
+        self.move = move
+        self.reason = reason
+        self.step = step
+        where = f" at step {step}" if step is not None else ""
+        super().__init__(f"illegal move {move!r}{where}: {reason}")
+
+
+class CapacityExceededError(IllegalMoveError):
+    """A move would place more than R red pebbles on the DAG."""
+
+    def __init__(self, move, red_limit: int, step: "int | None" = None):
+        self.red_limit = red_limit
+        super().__init__(move, f"red pebble limit R={red_limit} exceeded", step)
+
+
+class RecomputationError(IllegalMoveError):
+    """A node was computed a second time in the oneshot model."""
+
+    def __init__(self, move, step: "int | None" = None):
+        super().__init__(
+            move, "node was already computed once (oneshot forbids recomputation)", step
+        )
+
+
+class DeletionForbiddenError(IllegalMoveError):
+    """A delete was attempted in the nodel model."""
+
+    def __init__(self, move, step: "int | None" = None):
+        super().__init__(move, "deletions are forbidden in the nodel model", step)
+
+
+class IncompletePebblingError(PebblingError):
+    """A schedule terminated without every sink holding a pebble."""
+
+    def __init__(self, missing):
+        self.missing = tuple(missing)
+        super().__init__(
+            f"pebbling incomplete: {len(self.missing)} sink(s) unpebbled "
+            f"(e.g. {self.missing[:5]!r})"
+        )
+
+
+class InfeasibleInstanceError(PebblingError):
+    """The instance admits no valid pebbling at all (R < Delta + 1)."""
+
+    def __init__(self, red_limit: int, max_indegree: int):
+        self.red_limit = red_limit
+        self.max_indegree = max_indegree
+        super().__init__(
+            f"no pebbling exists with R={red_limit}: the maximum indegree is "
+            f"{max_indegree}, so at least R={max_indegree + 1} red pebbles are required"
+        )
+
+
+class SolverError(PebblingError):
+    """A solver failed to produce a result (search exhausted, limits hit)."""
+
+
+class BudgetExceededError(SolverError):
+    """A solver exceeded a configured node/expansion budget before finishing."""
+
+    def __init__(self, budget: int, what: str = "state expansions"):
+        self.budget = budget
+        super().__init__(f"solver budget exhausted after {budget} {what}")

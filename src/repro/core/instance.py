@@ -1,0 +1,87 @@
+"""Pebbling problem instances.
+
+A :class:`PebblingInstance` bundles everything that defines one pebbling
+problem: the DAG, the model variant (with its cost structure), and the red
+pebble budget R.  The decision version of the problem additionally carries
+a cost budget C ("does a pebbling of cost <= C exist?"), matching the
+formal problem statement in Section 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Union
+
+from .dag import ComputationDAG
+from .errors import InfeasibleInstanceError
+from .models import CostModel, DEFAULT_EPSILON, Model, cost_model_for
+
+__all__ = ["PebblingInstance"]
+
+
+@dataclass(frozen=True)
+class PebblingInstance:
+    """One red-blue pebbling problem.
+
+    Parameters
+    ----------
+    dag:
+        The computation DAG to pebble.
+    model:
+        Which of the four variants the game is played under.
+    red_limit:
+        The parameter R: maximum number of red pebbles on the board at any
+        time.  Must be at least ``dag.max_indegree + 1`` (Section 3), else
+        the instance is infeasible and construction raises.
+    cost_budget:
+        Optional budget C for the decision problem.
+    epsilon:
+        Compute cost for the compcost variant (ignored otherwise).
+    """
+
+    dag: ComputationDAG
+    model: Model
+    red_limit: int
+    cost_budget: Optional[Fraction] = None
+    epsilon: Fraction = DEFAULT_EPSILON
+    costs: CostModel = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self):
+        model = Model.parse(self.model)
+        object.__setattr__(self, "model", model)
+        if self.red_limit < self.dag.min_red_pebbles:
+            raise InfeasibleInstanceError(self.red_limit, self.dag.max_indegree)
+        if self.cost_budget is not None:
+            object.__setattr__(self, "cost_budget", Fraction(self.cost_budget))
+        object.__setattr__(
+            self, "costs", cost_model_for(model, epsilon=self.epsilon)
+        )
+
+    def with_red_limit(self, red_limit: int) -> "PebblingInstance":
+        """Copy of this instance with a different R (used by tradeoff sweeps)."""
+        return PebblingInstance(
+            dag=self.dag,
+            model=self.model,
+            red_limit=red_limit,
+            cost_budget=self.cost_budget,
+            epsilon=self.epsilon,
+        )
+
+    def with_model(self, model: Union[Model, str]) -> "PebblingInstance":
+        """Copy of this instance under a different model variant."""
+        return PebblingInstance(
+            dag=self.dag,
+            model=Model.parse(model),
+            red_limit=self.red_limit,
+            cost_budget=self.cost_budget,
+            epsilon=self.epsilon,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        budget = f", C<={self.cost_budget}" if self.cost_budget is not None else ""
+        return (
+            f"{self.model.value} pebbling of {self.dag.n_nodes}-node DAG "
+            f"(delta={self.dag.max_indegree}) with R={self.red_limit}{budget}"
+        )

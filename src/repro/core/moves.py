@@ -1,0 +1,118 @@
+"""The move algebra of red-blue pebble games.
+
+A pebbling is a sequence of four kinds of moves (Section 1 of the paper):
+
+1. :class:`Load`    -- *move to fast memory*: replace a blue pebble by red.
+2. :class:`Store`   -- *move to slow memory*: replace a red pebble by blue.
+3. :class:`Compute` -- place a red pebble on a node whose inputs are all red.
+4. :class:`Delete`  -- remove a pebble (of either colour) from a node.
+
+Moves are small immutable value objects.  They are hashable and ordered so
+they can live in sets, dict keys and sorted schedules, and they render
+compactly (``L(v)``, ``S(v)``, ``C(v)``, ``D(v)``) for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+__all__ = [
+    "Move",
+    "Load",
+    "Store",
+    "Compute",
+    "Delete",
+    "MOVE_KINDS",
+    "move_from_tuple",
+]
+
+
+class Move:
+    """Abstract base class for pebbling moves.
+
+    Subclasses carry a single field, the DAG node the move acts on.  The
+    class itself encodes the operation kind.
+    """
+
+    __slots__ = ("node",)
+
+    #: one-letter mnemonic used in compact renderings; set by subclasses.
+    mnemonic: str = "?"
+    #: stable integer discriminator used for ordering and serialization.
+    kind_id: int = -1
+
+    def __init__(self, node: Hashable):
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}({self.node!r})"
+
+    def __str__(self) -> str:
+        return f"{self.mnemonic}({self.node})"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.node == other.node
+
+    def __hash__(self) -> int:
+        return hash((self.kind_id, self.node))
+
+    def __lt__(self, other: "Move") -> bool:
+        if not isinstance(other, Move):
+            return NotImplemented
+        return (self.kind_id, repr(self.node)) < (other.kind_id, repr(other.node))
+
+    def as_tuple(self) -> Tuple[str, Hashable]:
+        """Serialize to a ``(kind, node)`` pair (JSON-friendly for str/int nodes)."""
+        return (type(self).__name__.lower(), self.node)
+
+
+class Load(Move):
+    """Replace a blue pebble on ``node`` by a red pebble (slow -> fast)."""
+
+    __slots__ = ()
+    mnemonic = "L"
+    kind_id = 0
+
+
+class Store(Move):
+    """Replace a red pebble on ``node`` by a blue pebble (fast -> slow)."""
+
+    __slots__ = ()
+    mnemonic = "S"
+    kind_id = 1
+
+
+class Compute(Move):
+    """Place a red pebble on ``node``; requires all inputs red (free for sources)."""
+
+    __slots__ = ()
+    mnemonic = "C"
+    kind_id = 2
+
+
+class Delete(Move):
+    """Remove the pebble (red or blue) currently on ``node``."""
+
+    __slots__ = ()
+    mnemonic = "D"
+    kind_id = 3
+
+
+#: all concrete move classes, in kind_id order.
+MOVE_KINDS: Tuple[type, ...] = (Load, Store, Compute, Delete)
+
+_BY_NAME = {cls.__name__.lower(): cls for cls in MOVE_KINDS}
+
+
+def move_from_tuple(pair: Iterable) -> Move:
+    """Inverse of :meth:`Move.as_tuple`.
+
+    >>> move_from_tuple(("load", "v"))
+    Load('v')
+    """
+    kind, node = pair
+    try:
+        cls = _BY_NAME[str(kind).lower()]
+    except KeyError:
+        raise ValueError(f"unknown move kind {kind!r}") from None
+    return cls(node)

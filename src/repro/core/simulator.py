@@ -1,0 +1,170 @@
+"""The pebbling simulator: executes and prices schedules.
+
+:class:`PebblingSimulator` is the authoritative referee for the game.  All
+higher layers (heuristics, strategy emitters, reductions) ultimately
+justify their cost claims by running their schedules through it, and the
+test-suite cross-checks every analytic cost formula against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Optional, Tuple
+
+from .dag import ComputationDAG, Node
+from .errors import IncompletePebblingError
+from .instance import PebblingInstance
+from .moves import Move
+from .schedule import CostBreakdown, Schedule
+from .state import PebblingState, apply_move
+
+__all__ = ["ExecutionResult", "PebblingSimulator"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing a schedule.
+
+    Attributes
+    ----------
+    cost:
+        Total cost under the instance's model (transfers + computes + deletes,
+        with the model's prices).
+    breakdown:
+        Per-operation-kind counts and costs.
+    final_state:
+        Board state after the last move.
+    steps:
+        Number of moves executed.
+    complete:
+        Whether the final state pebbles every sink.
+    max_red_in_use:
+        Peak number of red pebbles observed (<= R by construction).
+    """
+
+    cost: Fraction
+    breakdown: CostBreakdown
+    final_state: PebblingState
+    steps: int
+    complete: bool
+    max_red_in_use: int
+
+    @property
+    def transfer_cost(self) -> Fraction:
+        """Cost counting only Steps 1 and 2 (the base/oneshot/nodel objective)."""
+        return self.breakdown.transfer_cost
+
+
+class PebblingSimulator:
+    """Executes move sequences for one :class:`PebblingInstance`.
+
+    The simulator is stateless between calls; each :meth:`run` starts from
+    the empty board (or an explicit ``initial_state``).  The stepping API
+    (:meth:`initial_state` / :meth:`step`) serves solvers that need
+    incremental execution.
+    """
+
+    def __init__(self, instance: PebblingInstance):
+        self.instance = instance
+        self.dag: ComputationDAG = instance.dag
+        self.costs = instance.costs
+        self.red_limit = instance.red_limit
+
+    # ------------------------------------------------------------------ #
+    # stepping API
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self) -> PebblingState:
+        return PebblingState.initial()
+
+    def step(
+        self, state: PebblingState, move: Move, step_index: Optional[int] = None
+    ) -> Tuple[PebblingState, Fraction]:
+        """Apply one move, returning ``(new_state, move_cost)``.
+
+        Raises :class:`~repro.core.errors.IllegalMoveError` (or a subclass)
+        if the move is illegal in ``state`` under this instance's model.
+        """
+        return apply_move(
+            state, move, self.dag, self.costs, self.red_limit, step_index
+        )
+
+    def is_complete(self, state: PebblingState) -> bool:
+        return state.is_complete(self.dag)
+
+    # ------------------------------------------------------------------ #
+    # schedule execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        schedule: "Schedule | Iterable[Move]",
+        *,
+        initial_state: Optional[PebblingState] = None,
+        require_complete: bool = False,
+    ) -> ExecutionResult:
+        """Execute a full schedule and return its priced outcome.
+
+        Parameters
+        ----------
+        schedule:
+            The moves to execute, in order.
+        initial_state:
+            Board to start from (default: empty).
+        require_complete:
+            If True, raise :class:`IncompletePebblingError` when the final
+            state leaves some sink unpebbled.
+        """
+        state = initial_state if initial_state is not None else PebblingState.initial()
+        breakdown = CostBreakdown()
+        total = Fraction(0)
+        steps = 0
+        max_red = len(state.red)
+
+        for i, move in enumerate(schedule):
+            state, cost = self.step(state, move, i)
+            breakdown.record(move, cost)
+            total += cost
+            steps += 1
+            if len(state.red) > max_red:
+                max_red = len(state.red)
+
+        complete = self.is_complete(state)
+        if require_complete and not complete:
+            missing = [s for s in self.dag.sinks if not state.has_pebble(s)]
+            raise IncompletePebblingError(missing)
+
+        return ExecutionResult(
+            cost=total,
+            breakdown=breakdown,
+            final_state=state,
+            steps=steps,
+            complete=complete,
+            max_red_in_use=max_red,
+        )
+
+    def cost_of(self, schedule: "Schedule | Iterable[Move]") -> Fraction:
+        """Cost of a schedule that must completely pebble the DAG."""
+        return self.run(schedule, require_complete=True).cost
+
+    # ------------------------------------------------------------------ #
+    # tracing
+    # ------------------------------------------------------------------ #
+
+    def trace(
+        self, schedule: "Schedule | Iterable[Move]"
+    ) -> List[Tuple[Move, PebblingState, Fraction]]:
+        """Execute and return ``(move, state_after, cumulative_cost)`` triples.
+
+        Intended for debugging and for the narrative examples; costs are
+        cumulative so a trace line shows the running total.
+        """
+        state = PebblingState.initial()
+        total = Fraction(0)
+        out: List[Tuple[Move, PebblingState, Fraction]] = []
+        for i, move in enumerate(schedule):
+            state, cost = self.step(state, move, i)
+            total += cost
+            out.append((move, state, total))
+        return out

@@ -1,0 +1,224 @@
+"""Immutable pebbling states and the model-aware transition function.
+
+A :class:`PebblingState` records which nodes currently hold a red pebble,
+which hold a blue pebble, and which have ever been computed.  The third
+component is what makes the oneshot rule ("Step 3 at most once per node")
+checkable, and is also convenient for heuristics in the other models.
+
+States are immutable and hashable so they can serve directly as search
+nodes in the exact solvers.  The transition function lives here (rather
+than on the simulator) so that solvers can expand states without building
+a simulator object per expansion.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Iterator, Tuple
+
+from .dag import ComputationDAG, Node
+from .errors import (
+    CapacityExceededError,
+    DeletionForbiddenError,
+    IllegalMoveError,
+    RecomputationError,
+)
+from .models import CostModel
+from .moves import Compute, Delete, Load, Move, Store
+
+__all__ = ["PebblingState", "legal_moves", "apply_move"]
+
+_EMPTY: FrozenSet[Node] = frozenset()
+
+
+class PebblingState:
+    """A snapshot of the board: (red, blue, computed) node sets.
+
+    Invariants (maintained by :func:`apply_move`, checked by
+    :meth:`check_invariants`):
+
+    * ``red`` and ``blue`` are disjoint (a node holds at most one pebble);
+    * every pebbled node has been computed (pebbles appear via Step 3 only);
+    * ``computed`` never shrinks.
+    """
+
+    __slots__ = ("red", "blue", "computed", "_hash")
+
+    def __init__(
+        self,
+        red: FrozenSet[Node] = _EMPTY,
+        blue: FrozenSet[Node] = _EMPTY,
+        computed: FrozenSet[Node] = _EMPTY,
+    ):
+        self.red = frozenset(red)
+        self.blue = frozenset(blue)
+        self.computed = frozenset(computed)
+        self._hash = hash((self.red, self.blue, self.computed))
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def initial(cls) -> "PebblingState":
+        """The empty board: no pebbles anywhere, nothing computed."""
+        return cls()
+
+    def pebbled(self) -> FrozenSet[Node]:
+        """Nodes currently holding a pebble of either colour."""
+        return self.red | self.blue
+
+    def has_pebble(self, v: Node) -> bool:
+        return v in self.red or v in self.blue
+
+    def is_complete(self, dag: ComputationDAG) -> bool:
+        """Completion condition: every sink holds a (red or blue) pebble."""
+        return all(self.has_pebble(s) for s in dag.sinks)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if a structural invariant is violated."""
+        assert not (self.red & self.blue), "a node holds both a red and a blue pebble"
+        pebbled = self.red | self.blue
+        assert pebbled <= self.computed, "a pebbled node was never computed"
+
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, PebblingState)
+            and self.red == other.red
+            and self.blue == other.blue
+            and self.computed == other.computed
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        def fmt(s: FrozenSet[Node]) -> str:
+            return "{" + ",".join(sorted(map(str, s))) + "}"
+
+        return (
+            f"PebblingState(red={fmt(self.red)}, blue={fmt(self.blue)}, "
+            f"computed={fmt(self.computed)})"
+        )
+
+
+def apply_move(
+    state: PebblingState,
+    move: Move,
+    dag: ComputationDAG,
+    costs: CostModel,
+    red_limit: int,
+    step: "int | None" = None,
+) -> Tuple[PebblingState, Fraction]:
+    """Apply one move to a state, returning ``(new_state, cost)``.
+
+    Raises a subclass of :class:`IllegalMoveError` when the move violates
+    the rules of the model described by ``costs``:
+
+    * Load needs a blue pebble on the node and a free red slot;
+    * Store needs a red pebble on the node;
+    * Compute needs every input red, a free red slot, the node not already
+      red, and (oneshot) the node never computed before;
+    * Delete needs a pebble on the node and is illegal in nodel.
+    """
+    v = move.node
+    if v not in dag:
+        raise IllegalMoveError(move, f"node {v!r} is not in the DAG", step)
+
+    if isinstance(move, Load):
+        if v not in state.blue:
+            raise IllegalMoveError(move, "node holds no blue pebble", step)
+        if len(state.red) + 1 > red_limit:
+            raise CapacityExceededError(move, red_limit, step)
+        return (
+            PebblingState(state.red | {v}, state.blue - {v}, state.computed),
+            costs.load_cost,
+        )
+
+    if isinstance(move, Store):
+        if v not in state.red:
+            raise IllegalMoveError(move, "node holds no red pebble", step)
+        return (
+            PebblingState(state.red - {v}, state.blue | {v}, state.computed),
+            costs.store_cost,
+        )
+
+    if isinstance(move, Compute):
+        if v in state.red:
+            raise IllegalMoveError(move, "node already holds a red pebble", step)
+        if not costs.recompute_allowed and v in state.computed:
+            raise RecomputationError(move, step)
+        missing = [u for u in dag.predecessors(v) if u not in state.red]
+        if missing:
+            raise IllegalMoveError(
+                move, f"input(s) without a red pebble: {missing[:5]!r}", step
+            )
+        if len(state.red) + 1 > red_limit:
+            raise CapacityExceededError(move, red_limit, step)
+        # Computing onto a node that currently holds a blue pebble replaces
+        # the blue pebble by a red one (explicitly allowed in nodel:
+        # "Step 3 still allows us to replace a blue pebble by a red one").
+        return (
+            PebblingState(state.red | {v}, state.blue - {v}, state.computed | {v}),
+            costs.compute_cost,
+        )
+
+    if isinstance(move, Delete):
+        if not costs.delete_allowed:
+            raise DeletionForbiddenError(move, step)
+        if v in state.red:
+            return (
+                PebblingState(state.red - {v}, state.blue, state.computed),
+                costs.delete_cost,
+            )
+        if v in state.blue:
+            return (
+                PebblingState(state.red, state.blue - {v}, state.computed),
+                costs.delete_cost,
+            )
+        raise IllegalMoveError(move, "node holds no pebble", step)
+
+    raise IllegalMoveError(move, f"unknown move type {type(move).__name__}", step)
+
+
+def legal_moves(
+    state: PebblingState,
+    dag: ComputationDAG,
+    costs: CostModel,
+    red_limit: int,
+    *,
+    prune_delete_blue: bool = True,
+) -> Iterator[Move]:
+    """Enumerate every move legal in ``state``.
+
+    ``prune_delete_blue`` skips deleting blue pebbles: a blue pebble never
+    occupies a red slot and never blocks any move, so removing it cannot
+    reduce the cost of any continuation — any schedule using Delete(blue)
+    maps move-for-move to one that omits it at equal cost.  Exact solvers
+    rely on this cost-preserving prune; set it to ``False`` to enumerate
+    the literal rule set.
+    """
+    has_red_slot = len(state.red) < red_limit
+
+    if has_red_slot:
+        for v in state.blue:
+            yield Load(v)
+
+    for v in state.red:
+        yield Store(v)
+
+    if has_red_slot:
+        for v in dag:
+            if v in state.red:
+                continue
+            if not costs.recompute_allowed and v in state.computed:
+                continue
+            if all(u in state.red for u in dag.predecessors(v)):
+                yield Compute(v)
+
+    if costs.delete_allowed:
+        for v in state.red:
+            yield Delete(v)
+        if not prune_delete_blue:
+            for v in state.blue:
+                yield Delete(v)

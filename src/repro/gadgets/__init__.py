@@ -1,0 +1,25 @@
+"""The paper's gadget constructions (Figures 1-3) and DAG transforms."""
+
+from .cd import CDGadgetInfo, cd_gadget_dag
+from .h2c import H2CInfo, attach_h2c, h2c_dag
+from .tradeoff import (
+    TradeoffDAG,
+    opt_tradeoff_formula,
+    optimal_tradeoff_schedule,
+    tradeoff_dag,
+)
+from .transforms import add_super_source, finalize_sinks_blue
+
+__all__ = [
+    "h2c_dag",
+    "attach_h2c",
+    "H2CInfo",
+    "cd_gadget_dag",
+    "CDGadgetInfo",
+    "tradeoff_dag",
+    "TradeoffDAG",
+    "optimal_tradeoff_schedule",
+    "opt_tradeoff_formula",
+    "add_super_source",
+    "finalize_sinks_blue",
+]

@@ -1,0 +1,140 @@
+"""The constant-degree (CD) gadget of Figure 1 / Appendix B.
+
+The gadget replaces an input group of R-1 nodes feeding a target node (a
+structure with indegree R-1) by an indegree-2 structure with the same
+pebbling behaviour: h *layers*, each layer being a pass over the R-1
+left-side nodes.  Gadget node (l, j) consumes left-side node j and the
+previous gadget node in the row-major chain.
+
+Key properties (Appendix B, verified in tests):
+
+* with R+1 red pebbles — R-1 parked on the left side plus 2 rolling in the
+  chain — the whole gadget is computed at zero transfer cost (oneshot/base);
+* with at most R red pebbles, some left node must be re-acquired in every
+  layer, costing at least ~2 per layer, i.e. ~2h overall: choosing h larger
+  than the construction's cost budget forces any reasonable pebbling to
+  park all R-1 reds on the left side at some point.
+
+Targets of the original input group are attached to the *last* chain node,
+preserving "target computable only after the whole group is charged".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..core.dag import ComputationDAG, Node
+from ..core.moves import Compute, Delete, Move
+from ..core.schedule import Schedule
+
+__all__ = ["CDGadgetInfo", "cd_gadget_dag", "cd_gadget_edges", "free_cd_schedule"]
+
+
+@dataclass(frozen=True)
+class CDGadgetInfo:
+    """Layout of one CD gadget.
+
+    Attributes
+    ----------
+    left:
+        The R-1 left-side nodes (sources in the standalone gadget).
+    chain:
+        All gadget nodes in computation order (h layers x (R-1) nodes).
+    exit:
+        The final chain node; group targets attach here.
+    layers:
+        Number of layers h.
+    """
+
+    left: Tuple[Node, ...]
+    chain: Tuple[Node, ...]
+    layers: int
+
+    @property
+    def exit(self) -> Node:
+        return self.chain[-1]
+
+    @property
+    def required_reds(self) -> int:
+        """Reds needed to pebble the gadget for free: |left| + 2."""
+        return len(self.left) + 2
+
+
+def cd_gadget_edges(
+    left: Sequence[Node],
+    layers: int,
+    label: Hashable,
+    entry: Optional[Node] = None,
+) -> Tuple[List[Tuple[Node, Node]], CDGadgetInfo]:
+    """Edges of a CD gadget over existing ``left`` nodes.
+
+    ``entry``, if given, becomes the second input of the very first chain
+    node (used when chaining gadgets after other structures); otherwise the
+    first chain node has indegree 1.
+    """
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    if len(left) < 1:
+        raise ValueError("left side must be non-empty")
+    edges: List[Tuple[Node, Node]] = []
+    chain: List[Node] = []
+    prev = entry
+    for l in range(layers):
+        for j, left_node in enumerate(left):
+            g = (label, "g", l, j)
+            edges.append((left_node, g))
+            if prev is not None:
+                edges.append((prev, g))
+            chain.append(g)
+            prev = g
+    return edges, CDGadgetInfo(left=tuple(left), chain=tuple(chain), layers=layers)
+
+
+def cd_gadget_dag(
+    red_limit: int,
+    layers: int,
+    *,
+    n_targets: int = 1,
+    label: Hashable = "cd",
+) -> Tuple[ComputationDAG, CDGadgetInfo]:
+    """Standalone CD gadget designed for red budget ``red_limit`` (= R).
+
+    The left side gets R-1 source nodes; ``n_targets`` target nodes consume
+    the exit chain node.  Maximum indegree of the result is 2.
+    """
+    if red_limit < 2:
+        raise ValueError("red_limit must be >= 2")
+    left = tuple((label, "left", i) for i in range(red_limit - 1))
+    edges, info = cd_gadget_edges(left, layers, label)
+    for t in range(n_targets):
+        edges.append((info.exit, (label, "t", t)))
+    return ComputationDAG(edges=edges), info
+
+
+def free_cd_schedule(
+    info: CDGadgetInfo,
+    *,
+    include_targets: Sequence[Node] = (),
+    cleanup: bool = True,
+) -> Schedule:
+    """The zero-cost pebbling of a standalone gadget with |left|+2 reds.
+
+    Computes all left nodes, then walks the chain keeping a 2-node rolling
+    window, finally computes ``include_targets`` off the exit node.  With
+    ``cleanup`` the window's trailing pebble is deleted as the walk
+    advances (required to stay within |left| + 2 reds).
+
+    Only valid in models that allow deletion (oneshot, base, compcost);
+    cost is 0 in oneshot/base and epsilon * computes in compcost.
+    """
+    moves: List[Move] = [Compute(v) for v in info.left]
+    prev: Optional[Node] = None
+    for g in info.chain:
+        moves.append(Compute(g))
+        if cleanup and prev is not None:
+            moves.append(Delete(prev))
+        prev = g
+    for t in include_targets:
+        moves.append(Compute(t))
+    return Schedule(moves)

@@ -1,0 +1,43 @@
+"""Workload generators: classic HPC DAGs, random DAGs, reduction inputs."""
+
+from .classic import (
+    binary_tree_dag,
+    butterfly_dag,
+    chain_dag,
+    grid_stencil_dag,
+    independent_tasks_dag,
+    matmul_dag,
+    pyramid_dag,
+)
+from .graphs import (
+    UndirectedGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    planted_hampath_graph,
+    planted_vertex_cover_graph,
+    random_graph,
+    star_graph,
+)
+from .random_dags import layered_random_dag, random_dag, random_in_tree
+
+__all__ = [
+    "UndirectedGraph",
+    "pyramid_dag",
+    "binary_tree_dag",
+    "chain_dag",
+    "grid_stencil_dag",
+    "butterfly_dag",
+    "matmul_dag",
+    "independent_tasks_dag",
+    "layered_random_dag",
+    "random_dag",
+    "random_in_tree",
+    "random_graph",
+    "planted_hampath_graph",
+    "planted_vertex_cover_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+]

@@ -1,0 +1,180 @@
+"""Classic computation DAGs from the pebbling / I/O-complexity literature.
+
+These are the workloads red-blue pebbling was invented to model (Hong &
+Kung 1981): pyramids, trees, butterflies (FFT), grid stencils, and the
+naive matrix-multiplication DAG.  Node labels are descriptive tuples so
+that schedules remain readable, e.g. ``("pyr", row, col)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.dag import ComputationDAG
+
+__all__ = [
+    "pyramid_dag",
+    "binary_tree_dag",
+    "chain_dag",
+    "grid_stencil_dag",
+    "butterfly_dag",
+    "matmul_dag",
+    "independent_tasks_dag",
+]
+
+
+def chain_dag(length: int) -> ComputationDAG:
+    """A simple path ``0 -> 1 -> ... -> length-1``.
+
+    The minimal sequential computation; pebbleable at zero cost with R=2
+    in any model that allows deletion.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return ComputationDAG(
+        edges=[(i, i + 1) for i in range(length - 1)], nodes=range(length)
+    )
+
+
+def pyramid_dag(height: int) -> ComputationDAG:
+    """The pyramid graph of [GLT79]/[RSZ12]: rows shrink from ``height+1``
+    sources to a single apex; node (i, j) of row i has inputs (i-1, j) and
+    (i-1, j+1).
+
+    Indegree 2; pebbling a pyramid of height h with few red pebbles is the
+    classic space lower-bound example, and the paper contrasts its gentle
+    cost growth with the CD gadget's cliff (Section 3).
+    """
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    edges: List[Tuple[object, object]] = []
+    nodes = []
+    for i in range(height + 1):
+        width = height + 1 - i
+        for j in range(width):
+            nodes.append(("pyr", i, j))
+            if i > 0:
+                edges.append((("pyr", i - 1, j), ("pyr", i, j)))
+                edges.append((("pyr", i - 1, j + 1), ("pyr", i, j)))
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def binary_tree_dag(leaves: int) -> ComputationDAG:
+    """A complete binary in-tree (reduction tree) over ``leaves`` inputs.
+
+    ``leaves`` must be a power of two.  Models reductions/aggregations;
+    pebbleable at zero transfer cost with R = log2(leaves) + 2 pebbles.
+    """
+    if leaves < 1 or leaves & (leaves - 1):
+        raise ValueError("leaves must be a positive power of two")
+    edges = []
+    nodes = [("leaf", i) for i in range(leaves)]
+    level = nodes[:]
+    depth = 0
+    while len(level) > 1:
+        depth += 1
+        nxt = []
+        for i in range(0, len(level), 2):
+            parent = ("t", depth, i // 2)
+            nodes.append(parent)
+            edges.append((level[i], parent))
+            edges.append((level[i + 1], parent))
+            nxt.append(parent)
+        level = nxt
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def grid_stencil_dag(rows: int, cols: int) -> ComputationDAG:
+    """A 2D dependency grid: node (i, j) depends on (i-1, j) and (i, j-1).
+
+    This is the dataflow of dynamic-programming / wavefront stencils
+    (e.g. Smith-Waterman), a standard I/O-complexity workload.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    edges = []
+    nodes = []
+    for i in range(rows):
+        for j in range(cols):
+            nodes.append(("g", i, j))
+            if i > 0:
+                edges.append((("g", i - 1, j), ("g", i, j)))
+            if j > 0:
+                edges.append((("g", i, j - 1), ("g", i, j)))
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def butterfly_dag(k: int) -> ComputationDAG:
+    """The k-dimensional butterfly (FFT dataflow) on 2^k inputs.
+
+    Node (level, i) for level in 0..k; node (l+1, i) has inputs (l, i) and
+    (l, i XOR 2^l).  Hong & Kung's Omega(n log n / log R) I/O lower bound
+    is stated for this DAG (see :mod:`repro.solvers.bounds`).
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    n = 1 << k
+    edges = []
+    nodes = [("b", 0, i) for i in range(n)]
+    for level in range(k):
+        for i in range(n):
+            v = ("b", level + 1, i)
+            nodes.append(v)
+            edges.append((("b", level, i), v))
+            edges.append((("b", level, i ^ (1 << level)), v))
+    # nodes list may contain duplicates across i loop? no: (level+1, i) unique
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def matmul_dag(n: int) -> ComputationDAG:
+    """The naive n x n matrix-multiplication DAG.
+
+    Inputs A[i,k] and B[k,j]; products P[i,j,k] = A[i,k]*B[k,j]; partial
+    sums S[i,j,k] = S[i,j,k-1] + P[i,j,k]; outputs C[i,j] = S[i,j,n-1].
+    Indegree <= 2.  Hong & Kung's Omega(n^3 / sqrt(R)) bound applies.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    edges = []
+    nodes = []
+    for i in range(n):
+        for k in range(n):
+            nodes.append(("A", i, k))
+            nodes.append(("B", k, i))
+    for i in range(n):
+        for j in range(n):
+            prev = None
+            for k in range(n):
+                p = ("P", i, j, k)
+                nodes.append(p)
+                edges.append((("A", i, k), p))
+                edges.append((("B", k, j), p))
+                if prev is None:
+                    prev = p
+                else:
+                    s = ("S", i, j, k)
+                    nodes.append(s)
+                    edges.append((prev, s))
+                    edges.append((p, s))
+                    prev = s
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def independent_tasks_dag(count: int, indegree: int) -> ComputationDAG:
+    """``count`` independent tasks, each with its own ``indegree`` fresh inputs.
+
+    An embarrassingly parallel workload: the pebbling cost is 0 for any
+    R >= indegree + 1 in models with deletion.
+    """
+    if count < 1 or indegree < 0:
+        raise ValueError("count must be >= 1 and indegree >= 0")
+    edges = []
+    nodes = []
+    for t in range(count):
+        target = ("task", t)
+        nodes.append(target)
+        for i in range(indegree):
+            src = ("in", t, i)
+            nodes.append(src)
+            edges.append((src, target))
+    return ComputationDAG(edges=edges, nodes=nodes)

@@ -1,0 +1,176 @@
+"""Undirected-graph instance generators for the hardness reductions.
+
+The Theorem 2 and Theorem 3 reductions take an undirected graph G as
+input.  We represent undirected graphs minimally as
+``(n, frozenset of sorted edge pairs)`` via :class:`UndirectedGraph`, which
+is all the reductions need, with networkx interop for the test-suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+__all__ = [
+    "UndirectedGraph",
+    "random_graph",
+    "planted_hampath_graph",
+    "planted_vertex_cover_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+]
+
+Edge = Tuple[int, int]
+
+
+def _norm(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class UndirectedGraph:
+    """A simple undirected graph on nodes ``0..n-1``."""
+
+    n: int
+    edges: FrozenSet[Edge]
+
+    def __post_init__(self):
+        for u, v in self.edges:
+            if u == v:
+                raise ValueError(f"self-loop ({u},{v})")
+            if not (0 <= u < v < self.n):
+                raise ValueError(f"edge ({u},{v}) out of range or unnormalized")
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]]) -> "UndirectedGraph":
+        return cls(n, frozenset(_norm(u, v) for u, v in edges))
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return _norm(u, v) in self.edges
+
+    def neighbors(self, u: int) -> Set[int]:
+        out = set()
+        for a, b in self.edges:
+            if a == u:
+                out.add(b)
+            elif b == u:
+                out.add(a)
+        return out
+
+    def adjacency(self) -> List[Set[int]]:
+        adj: List[Set[int]] = [set() for _ in range(self.n)]
+        for u, v in self.edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+    def degree(self, u: int) -> int:
+        return len(self.neighbors(u))
+
+    def complement(self) -> "UndirectedGraph":
+        all_pairs = {
+            (u, v) for u, v in itertools.combinations(range(self.n), 2)
+        }
+        return UndirectedGraph(self.n, frozenset(all_pairs - self.edges))
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges)
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "UndirectedGraph":
+        mapping = {v: i for i, v in enumerate(sorted(g.nodes(), key=repr))}
+        return cls.from_edges(
+            g.number_of_nodes(), ((mapping[u], mapping[v]) for u, v in g.edges())
+        )
+
+
+def path_graph(n: int) -> UndirectedGraph:
+    """The path 0-1-...-(n-1): has a Hamiltonian path, VC size floor(n/2)."""
+    return UndirectedGraph.from_edges(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n: int) -> UndirectedGraph:
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    return UndirectedGraph.from_edges(
+        n, [(i, (i + 1) % n) for i in range(n)]
+    )
+
+
+def complete_graph(n: int) -> UndirectedGraph:
+    return UndirectedGraph.from_edges(n, itertools.combinations(range(n), 2))
+
+
+def star_graph(n: int) -> UndirectedGraph:
+    """K_{1,n-1}: no Hamiltonian path for n >= 4; VC = {center}."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    return UndirectedGraph.from_edges(n, ((0, i) for i in range(1, n)))
+
+
+def random_graph(n: int, p: float, *, seed: int = 0) -> UndirectedGraph:
+    """G(n, p)."""
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if rng.random() < p
+    ]
+    return UndirectedGraph.from_edges(n, edges)
+
+
+def planted_hampath_graph(
+    n: int, extra_edges: int = 0, *, seed: int = 0
+) -> UndirectedGraph:
+    """A graph guaranteed to contain a Hamiltonian path.
+
+    A random permutation path is planted, then ``extra_edges`` random
+    additional edges are added.  The planted path is returned by
+    ``planted_hampath_graph.last_path`` style is avoided: instead the
+    function returns only the graph; use :mod:`repro.npc.hamiltonian` to
+    recover a path (tests verify one exists).
+    """
+    rng = random.Random(seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    edges = {_norm(perm[i], perm[i + 1]) for i in range(n - 1)}
+    candidates = [
+        e for e in itertools.combinations(range(n), 2) if _norm(*e) not in edges
+    ]
+    rng.shuffle(candidates)
+    for e in candidates[:extra_edges]:
+        edges.add(_norm(*e))
+    return UndirectedGraph(n, frozenset(edges))
+
+
+def planted_vertex_cover_graph(
+    n: int, cover_size: int, edge_prob: float = 0.5, *, seed: int = 0
+) -> UndirectedGraph:
+    """A graph whose edges all touch a planted cover set {0..cover_size-1}.
+
+    Every edge has at least one endpoint in the planted cover, so the
+    minimum vertex cover has size <= cover_size.  Edges are sampled with
+    probability ``edge_prob`` among (cover x all) pairs.
+    """
+    if not (0 <= cover_size <= n):
+        raise ValueError("cover_size out of range")
+    rng = random.Random(seed)
+    edges = set()
+    for u in range(cover_size):
+        for v in range(n):
+            if v != u and rng.random() < edge_prob:
+                edges.add(_norm(u, v))
+    return UndirectedGraph(n, frozenset(edges))

@@ -1,0 +1,111 @@
+"""Seeded random DAG generators.
+
+All generators take an integer ``seed`` and are deterministic for a fixed
+seed, so experiments are reproducible.  Randomness comes from
+``random.Random`` (not the global state).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.dag import ComputationDAG
+
+__all__ = ["layered_random_dag", "random_dag", "random_in_tree"]
+
+
+def layered_random_dag(
+    layers: Sequence[int],
+    *,
+    indegree: int = 2,
+    seed: int = 0,
+    dense: bool = False,
+) -> ComputationDAG:
+    """A random DAG organised in layers (the shape of most real dataflows).
+
+    Parameters
+    ----------
+    layers:
+        Node count per layer, e.g. ``[4, 4, 2]``.  Layer 0 nodes are sources.
+    indegree:
+        Each node in layer i > 0 draws ``min(indegree, |layer i-1|)``
+        distinct inputs from the previous layer.
+    dense:
+        If True, every node of layer i-1 feeds every node of layer i
+        (``indegree`` is ignored).
+    """
+    if not layers or any(w < 1 for w in layers):
+        raise ValueError("layers must be non-empty positive widths")
+    rng = random.Random(seed)
+    edges: List[Tuple[object, object]] = []
+    nodes = []
+    prev: List[object] = []
+    for li, width in enumerate(layers):
+        current = [("n", li, i) for i in range(width)]
+        nodes.extend(current)
+        if li > 0:
+            for v in current:
+                if dense:
+                    parents = prev
+                else:
+                    parents = rng.sample(prev, min(indegree, len(prev)))
+                edges.extend((p, v) for p in parents)
+        prev = current
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def random_dag(
+    n: int,
+    p: float,
+    *,
+    seed: int = 0,
+    max_indegree: Optional[int] = None,
+) -> ComputationDAG:
+    """An Erdős–Rényi-style DAG: orient each potential edge i -> j (i < j)
+    and keep it with probability ``p``; optionally cap the indegree.
+
+    The node set is ``0..n-1`` in a random topological order, so node ids
+    carry no structural information.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not (0 <= p <= 1):
+        raise ValueError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = []
+    indeg = {v: 0 for v in range(n)}
+    for j_pos in range(n):
+        # iterate candidate parents in random order for unbiased capping
+        parents = order[:j_pos]
+        rng.shuffle(parents)
+        v = order[j_pos]
+        for u in parents:
+            if max_indegree is not None and indeg[v] >= max_indegree:
+                break
+            if rng.random() < p:
+                edges.append((u, v))
+                indeg[v] += 1
+    return ComputationDAG(edges=edges, nodes=range(n))
+
+
+def random_in_tree(n: int, *, seed: int = 0, max_children: int = 3) -> ComputationDAG:
+    """A random in-tree (every node feeds exactly one consumer; one sink).
+
+    Built top-down: node i (i >= 1) is attached as input of a random
+    earlier node that still has a free child slot.  Node 0 is the sink.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    edges = []
+    slots = {0: max_children}
+    for i in range(1, n):
+        candidates = [v for v, s in slots.items() if s > 0]
+        parent = rng.choice(candidates)
+        slots[parent] -= 1
+        slots[i] = max_children
+        edges.append((i, parent))  # i is an input of parent
+    return ComputationDAG(edges=edges, nodes=range(n))

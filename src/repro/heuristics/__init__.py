@@ -1,0 +1,33 @@
+"""Heuristic pebblers: greedy rules (Section 8), eviction policies, baseline."""
+
+from .baseline import topological_schedule
+from .beam_search import BeamResult, beam_search_pebble
+from .eviction import (
+    EvictionPolicy,
+    FurthestNextUse,
+    LeastRecentlyUsed,
+    MinRemainingUses,
+    RandomEviction,
+)
+from .greedy import GreedyResult, GreedyRule, greedy_pebble
+from .local_search import LocalSearchResult, improve_order
+from .pebbler import OnlinePebbler, PebblerError, fixed_order_schedule
+
+__all__ = [
+    "GreedyRule",
+    "GreedyResult",
+    "greedy_pebble",
+    "improve_order",
+    "beam_search_pebble",
+    "BeamResult",
+    "LocalSearchResult",
+    "OnlinePebbler",
+    "PebblerError",
+    "fixed_order_schedule",
+    "topological_schedule",
+    "EvictionPolicy",
+    "FurthestNextUse",
+    "MinRemainingUses",
+    "LeastRecentlyUsed",
+    "RandomEviction",
+]

@@ -1,0 +1,55 @@
+"""The naive topological baseline realising the (2*Delta+1) * n bound.
+
+Section 3: following a topological order, the computation of each node
+costs at most Delta+1 stores plus Delta loads, i.e. (2*Delta+1) per node.
+This strategy is the universal upper bound every model shares (plus
+epsilon per compute in compcost) and the sanity baseline heuristics are
+measured against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.dag import Node
+from ..core.instance import PebblingInstance
+from ..core.moves import Compute, Load, Move, Store
+from ..core.schedule import Schedule
+
+__all__ = ["topological_schedule"]
+
+
+def topological_schedule(
+    instance: PebblingInstance, order: Optional[Sequence[Node]] = None
+) -> Schedule:
+    """The Section 3 strategy: for each node in topological order, load its
+    inputs from slow memory, compute it, then flush everything back.
+
+    Invariant between steps: no red pebbles on the board; every computed
+    value is blue.  Per node: <= Delta loads + 1 compute + (Delta+1)
+    stores, for a total cost <= (2*Delta+1) * n in every model (the
+    simulator-verified bound of ``tests/heuristics/test_baseline.py``).
+    Works unchanged in nodel since it never deletes.
+    """
+    dag = instance.dag
+    order = list(order) if order is not None else list(dag.topological_order())
+    moves: List[Move] = []
+    computed = set()
+    for v in order:
+        preds = dag.predecessors(v)
+        if len(preds) + 1 > instance.red_limit:
+            raise ValueError(
+                f"R={instance.red_limit} cannot compute {v!r} "
+                f"(indegree {len(preds)})"
+            )
+        for p in sorted(preds, key=repr):
+            if p not in computed:
+                raise ValueError(f"order is not topological: {v!r} before {p!r}")
+            moves.append(Load(p))
+        moves.append(Compute(v))
+        computed.add(v)
+        # flush: node first, then its inputs, board returns to all-blue
+        moves.append(Store(v))
+        for p in sorted(preds, key=repr):
+            moves.append(Store(p))
+    return Schedule(moves)

@@ -1,0 +1,337 @@
+"""The online pebbler: turns a computation order into a legal schedule.
+
+Pebbling = deciding (a) the order in which nodes are (first) computed and
+(b) which red pebbles to evict when slots run out.  This module implements
+the executor that handles (b) plus all model-specific bookkeeping, given
+(a) from either a fixed order (:func:`fixed_order_schedule`) or an online
+node selector (the greedy rules of :mod:`repro.heuristics.greedy`).
+
+Model-aware rules (derived from Table 1, validated against the simulator):
+
+* acquiring a non-red input: Load if blue (all models); recompute instead
+  when the model allows it and the input is a source (free / epsilon),
+  which is cheaper than the Load;
+* evicting a red pebble: Delete when the value is dead or re-creatable
+  for free, Store when it will be needed again and cannot be recomputed,
+  always Store in nodel;
+* eviction victims are picked in *cost tiers* (free victims first), with
+  the configured :class:`EvictionPolicy` breaking ties inside a tier.
+
+The pebbler maintains the invariant that every computed value that is
+still needed keeps a pebble (red or blue), so oneshot never loses a value
+it cannot recompute, and completed sinks always stay pebbled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..core.dag import ComputationDAG, Node
+from ..core.errors import PebblingError
+from ..core.instance import PebblingInstance
+from ..core.models import Model
+from ..core.moves import Compute, Delete, Load, Move, Store
+from ..core.schedule import Schedule
+from .eviction import EvictionContext, EvictionPolicy, FurthestNextUse, MinRemainingUses
+
+__all__ = ["OnlinePebbler", "PebblerError", "fixed_order_schedule"]
+
+
+class PebblerError(PebblingError):
+    """The pebbler reached a state it cannot proceed from."""
+
+
+class OnlinePebbler:
+    """Incremental pebbling executor.
+
+    Drive it by calling :meth:`compute_next` with successive nodes (each
+    exactly once, in an order where every node's inputs come before it);
+    read the produced moves from :attr:`moves`.
+
+    Parameters
+    ----------
+    instance:
+        The pebbling problem (any model).
+    eviction:
+        Tie-breaking policy inside an eviction cost tier.
+    next_use_fn:
+        Optional exact next-use oracle ``f(node) -> position | None`` used
+        by Belady-style policies (supplied by :func:`fixed_order_schedule`).
+    """
+
+    def __init__(
+        self,
+        instance: PebblingInstance,
+        eviction: Optional[EvictionPolicy] = None,
+        next_use_fn: Optional[Callable[[Node], Optional[int]]] = None,
+    ):
+        self.instance = instance
+        self.dag: ComputationDAG = instance.dag
+        self.model: Model = instance.model
+        self.red_limit = instance.red_limit
+        self.eviction = eviction if eviction is not None else MinRemainingUses()
+        self._next_use_fn = next_use_fn
+
+        self.moves: List[Move] = []
+        self.red: Set[Node] = set()
+        self.blue: Set[Node] = set()
+        self.computed: Set[Node] = set()
+        self.remaining_uses: Dict[Node, int] = {
+            v: self.dag.outdegree(v) for v in self.dag
+        }
+        self.last_used: Dict[Node, int] = {}
+        self.step = 0
+        self._topo_pos = {v: i for i, v in enumerate(self.dag.topological_order())}
+
+    # ------------------------------------------------------------------ #
+    # cloning (used by beam search)
+    # ------------------------------------------------------------------ #
+
+    def clone(self) -> "OnlinePebbler":
+        """An independent copy sharing the immutable instance/DAG but with
+        its own mutable board and move log."""
+        twin = OnlinePebbler.__new__(OnlinePebbler)
+        twin.instance = self.instance
+        twin.dag = self.dag
+        twin.model = self.model
+        twin.red_limit = self.red_limit
+        twin.eviction = self.eviction
+        twin._next_use_fn = self._next_use_fn
+        twin.moves = list(self.moves)
+        twin.red = set(self.red)
+        twin.blue = set(self.blue)
+        twin.computed = set(self.computed)
+        twin.remaining_uses = dict(self.remaining_uses)
+        twin.last_used = dict(self.last_used)
+        twin.step = self.step
+        twin._topo_pos = self._topo_pos
+        return twin
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def ready_nodes(self) -> List[Node]:
+        """Uncomputed nodes whose inputs have all been computed — the
+        candidate set of the Section 8 greedy algorithms."""
+        return [
+            v
+            for v in self.dag
+            if v not in self.computed
+            and all(p in self.computed for p in self.dag.predecessors(v))
+        ]
+
+    def red_inputs(self, v: Node) -> int:
+        return sum(1 for p in self.dag.predecessors(v) if p in self.red)
+
+    def blue_inputs(self, v: Node) -> int:
+        return sum(1 for p in self.dag.predecessors(v) if p in self.blue)
+
+    def schedule(self) -> Schedule:
+        return Schedule(self.moves)
+
+    def is_complete(self) -> bool:
+        return all(s in self.red or s in self.blue for s in self.dag.sinks)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, move: Move) -> None:
+        self.moves.append(move)
+        self.step += 1
+
+    def _recomputable_free(self, v: Node) -> bool:
+        """Can v be re-created later without a Load?  Only sources, and only
+        in models that allow recomputation (compute is free or epsilon)."""
+        return self.instance.costs.recompute_allowed and not self.dag.predecessors(v)
+
+    def _next_use(self, v: Node) -> Optional[int]:
+        if self.remaining_uses[v] <= 0:
+            return None
+        if self._next_use_fn is not None:
+            return self._next_use_fn(v)
+        # online estimate: earliest (topological) uncomputed consumer
+        positions = [
+            self._topo_pos[w]
+            for w in self.dag.successors(v)
+            if w not in self.computed
+        ]
+        return min(positions) if positions else None
+
+    def _eviction_tier(self, v: Node) -> int:
+        """Smaller = cheaper to evict.
+
+        Tier 0: dead non-sinks (Delete, free) and — when recomputation is
+        allowed — live sources (Delete now, recompute later at <= epsilon).
+        Tier 1: values needing exactly one transfer (dead sinks; everything
+        in nodel where even dead values must be stored; live sources in
+        nodel).  Tier 2: live values that will need a Store now and a Load
+        later.
+        """
+        dead = self.remaining_uses[v] <= 0
+        is_sink = not self.dag.successors(v)
+        if self.model is Model.NODEL:
+            # every eviction is a Store; live non-sources also pay a Load later
+            if dead or self._recomputable_free(v):
+                return 1
+            return 2
+        if dead:
+            return 1 if is_sink else 0
+        if self._recomputable_free(v) and not is_sink:
+            return 0
+        return 2
+
+    def _evict_one(self, pinned: Set[Node]) -> None:
+        candidates = [v for v in self.red if v not in pinned]
+        if not candidates:
+            raise PebblerError(
+                f"cannot free a red slot: all {len(self.red)} red pebbles are "
+                f"pinned (R={self.red_limit} too small for this step?)"
+            )
+        tiers: Dict[int, List[Node]] = {}
+        for v in candidates:
+            tiers.setdefault(self._eviction_tier(v), []).append(v)
+        tier = min(tiers)
+        pool = tiers[tier]
+        if len(pool) == 1:
+            victim = pool[0]
+        else:
+            ctx = EvictionContext(
+                remaining_uses=lambda v: self.remaining_uses[v],
+                next_use=self._next_use,
+                last_used=lambda v: self.last_used.get(v, -1),
+                step=self.step,
+            )
+            victim = self.eviction.choose_victim(pool, ctx)
+        self._dispose(victim)
+
+    def _dispose(self, victim: Node) -> None:
+        """Remove the red pebble from ``victim`` in the cheapest legal way."""
+        dead = self.remaining_uses[victim] <= 0
+        is_sink = not self.dag.successors(victim)
+        keep_value = (not dead) or is_sink
+        self.red.discard(victim)
+        if self.model is Model.NODEL:
+            self._emit(Store(victim))
+            self.blue.add(victim)
+        elif keep_value and (is_sink or not self._recomputable_free(victim)):
+            # sinks keep their pebble unconditionally: even a recomputable
+            # source sink would otherwise end the pebbling unpebbled
+            self._emit(Store(victim))
+            self.blue.add(victim)
+        else:
+            self._emit(Delete(victim))
+
+    def _ensure_slot(self, pinned: Set[Node]) -> None:
+        while len(self.red) >= self.red_limit:
+            self._evict_one(pinned)
+
+    def _acquire_input(self, p: Node, pinned: Set[Node]) -> None:
+        """Make input ``p`` red.  ``p`` has been computed before."""
+        if p in self.red:
+            return
+        self._ensure_slot(pinned)
+        if p in self.blue:
+            # recomputing beats loading only for free-recomputable sources
+            if self._recomputable_free(p):
+                self._emit(Compute(p))
+            else:
+                self._emit(Load(p))
+            self.blue.discard(p)
+            self.red.add(p)
+            return
+        # no pebble anywhere: only legal if p is recomputable from nothing
+        if self._recomputable_free(p):
+            self._emit(Compute(p))
+            self.red.add(p)
+            return
+        raise PebblerError(
+            f"input {p!r} has no pebble and cannot be recomputed "
+            f"(model={self.model.value}); the pebbler should never discard "
+            f"live non-recomputable values — this is a driver bug"
+        )
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+
+    def compute_next(self, v: Node) -> None:
+        """Compute node ``v`` (first computation), emitting all the loads,
+        evictions and the Compute itself."""
+        if v in self.computed:
+            raise PebblerError(f"{v!r} was already computed")
+        preds = self.dag.predecessors(v)
+        missing = [p for p in preds if p not in self.computed]
+        if missing:
+            raise PebblerError(f"inputs of {v!r} not yet computed: {missing[:4]!r}")
+
+        pinned = set(preds) | {v}
+        if len(pinned) > self.red_limit:
+            raise PebblerError(
+                f"{v!r} needs {len(pinned)} red pebbles but R={self.red_limit}"
+            )
+        for p in sorted(preds, key=repr):
+            self._acquire_input(p, pinned)
+            self.last_used[p] = self.step
+        self._ensure_slot(pinned)
+        self._emit(Compute(v))
+        self.red.add(v)
+        self.computed.add(v)
+        self.last_used[v] = self.step
+        for p in preds:
+            self.remaining_uses[p] -= 1
+
+    def run_order(self, order: Sequence[Node]) -> Schedule:
+        """Compute every node of ``order`` in sequence and return the moves."""
+        for v in order:
+            self.compute_next(v)
+        if not self.is_complete():  # pragma: no cover - defensive
+            missing = [s for s in self.dag.sinks if s not in self.red | self.blue]
+            raise PebblerError(f"order left sinks unpebbled: {missing[:4]!r}")
+        return self.schedule()
+
+
+def fixed_order_schedule(
+    instance: PebblingInstance,
+    order: Optional[Sequence[Node]] = None,
+    eviction: Optional[EvictionPolicy] = None,
+) -> Schedule:
+    """Pebble the DAG computing nodes in ``order`` (default: the DAG's
+    topological order) with exact Belady next-use information.
+
+    With the default :class:`FurthestNextUse` policy this is the classic
+    offline-caching solution of the eviction subproblem for the given
+    order (optimal for uniform re-acquisition costs).
+    """
+    dag = instance.dag
+    order = list(order) if order is not None else list(dag.topological_order())
+    position = {v: i for i, v in enumerate(order)}
+    missing = [v for v in dag if v not in position]
+    if missing:
+        raise ValueError(f"order misses nodes: {missing[:4]!r}")
+
+    # consumers of v, by their position in the order
+    use_positions: Dict[Node, List[int]] = {
+        v: sorted(position[w] for w in dag.successors(v)) for v in dag
+    }
+    cursor: Dict[Node, int] = {v: 0 for v in dag}
+    clock = {"now": -1}
+
+    def next_use(v: Node) -> Optional[int]:
+        uses = use_positions[v]
+        i = cursor[v]
+        while i < len(uses) and uses[i] <= clock["now"]:
+            i += 1
+        cursor[v] = i
+        return uses[i] if i < len(uses) else None
+
+    pebbler = OnlinePebbler(
+        instance,
+        eviction=eviction if eviction is not None else FurthestNextUse(),
+        next_use_fn=next_use,
+    )
+    for i, v in enumerate(order):
+        clock["now"] = i
+        pebbler.compute_next(v)
+    return pebbler.schedule()

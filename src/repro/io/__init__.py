@@ -1,0 +1,21 @@
+"""Serialization: JSON round-trips and Graphviz DOT export."""
+
+from .dot import to_dot
+from .serialization import (
+    dag_from_json,
+    dag_to_json,
+    instance_from_json,
+    instance_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+
+__all__ = [
+    "dag_to_json",
+    "dag_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "instance_to_json",
+    "instance_from_json",
+    "to_dot",
+]

@@ -1,0 +1,41 @@
+"""Graphviz DOT export, optionally colouring a pebbling state."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.dag import ComputationDAG
+from ..core.state import PebblingState
+
+__all__ = ["to_dot"]
+
+
+def _quote(v: object) -> str:
+    return '"' + str(v).replace('"', r"\"") + '"'
+
+
+def to_dot(
+    dag: ComputationDAG,
+    state: Optional[PebblingState] = None,
+    *,
+    name: str = "pebbling",
+    rankdir: str = "TB",
+) -> str:
+    """Render the DAG as DOT; with ``state``, red/blue pebbled nodes are
+    filled in their colour and computed-but-unpebbled nodes are grey."""
+    lines = [f"digraph {name} {{", f"  rankdir={rankdir};", "  node [shape=circle];"]
+    for v in dag.nodes:
+        attrs = []
+        if state is not None:
+            if v in state.red:
+                attrs.append('style=filled fillcolor="#e05a5a"')
+            elif v in state.blue:
+                attrs.append('style=filled fillcolor="#5a7de0"')
+            elif v in state.computed:
+                attrs.append('style=filled fillcolor="#d0d0d0"')
+        attr_text = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(v)}{attr_text};")
+    for u, v in dag.edges():
+        lines.append(f"  {_quote(u)} -> {_quote(v)};")
+    lines.append("}")
+    return "\n".join(lines)

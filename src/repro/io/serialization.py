@@ -1,0 +1,100 @@
+"""JSON serialization for DAGs, instances and schedules.
+
+Construction node labels are nested tuples of strings/ints (chosen for
+human-readable schedules); JSON has no tuple type, so tuples are encoded
+as ``{"t": [...]}`` wrappers.  Dicts are not supported as node labels (no
+construction uses them).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from ..core.dag import ComputationDAG, Node
+from ..core.instance import PebblingInstance
+from ..core.models import Model
+from ..core.moves import move_from_tuple
+from ..core.schedule import Schedule
+
+__all__ = [
+    "dag_to_json",
+    "dag_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "instance_to_json",
+    "instance_from_json",
+]
+
+
+def _encode_node(v: Node) -> Any:
+    if isinstance(v, tuple):
+        return {"t": [_encode_node(x) for x in v]}
+    if isinstance(v, (str, int, bool)) or v is None:
+        return v
+    raise TypeError(f"node label {v!r} of type {type(v).__name__} is not serializable")
+
+
+def _decode_node(v: Any) -> Node:
+    if isinstance(v, dict):
+        if set(v) != {"t"}:
+            raise ValueError(f"unknown node encoding {v!r}")
+        return tuple(_decode_node(x) for x in v["t"])
+    if isinstance(v, list):
+        raise ValueError("bare lists are not valid node encodings (expected {'t': ...})")
+    return v
+
+
+def dag_to_json(dag: ComputationDAG, *, indent: "int | None" = None) -> str:
+    payload = {
+        "nodes": [_encode_node(v) for v in dag.nodes],
+        "edges": [[_encode_node(u), _encode_node(v)] for u, v in dag.edges()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def dag_from_json(text: str) -> ComputationDAG:
+    payload = json.loads(text)
+    return ComputationDAG(
+        edges=[(_decode_node(u), _decode_node(v)) for u, v in payload["edges"]],
+        nodes=[_decode_node(v) for v in payload["nodes"]],
+    )
+
+
+def schedule_to_json(schedule: Schedule, *, indent: "int | None" = None) -> str:
+    payload = [[kind, _encode_node(node)] for kind, node in schedule.as_tuples()]
+    return json.dumps(payload, indent=indent)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    payload = json.loads(text)
+    return Schedule(
+        move_from_tuple((kind, _decode_node(node))) for kind, node in payload
+    )
+
+
+def instance_to_json(instance: PebblingInstance, *, indent: "int | None" = None) -> str:
+    payload = {
+        "model": instance.model.value,
+        "red_limit": instance.red_limit,
+        "epsilon": str(instance.epsilon),
+        "cost_budget": (
+            str(instance.cost_budget) if instance.cost_budget is not None else None
+        ),
+        "dag": json.loads(dag_to_json(instance.dag)),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def instance_from_json(text: str) -> PebblingInstance:
+    payload = json.loads(text)
+    dag = dag_from_json(json.dumps(payload["dag"]))
+    budget = payload.get("cost_budget")
+    return PebblingInstance(
+        dag=dag,
+        model=Model.parse(payload["model"]),
+        red_limit=int(payload["red_limit"]),
+        cost_budget=Fraction(budget) if budget is not None else None,
+        epsilon=Fraction(payload.get("epsilon", "1/100")),
+    )

@@ -1,0 +1,36 @@
+"""Multi-level memory hierarchies: the paper's cited generalization.
+
+The related-work section points at Carpenter et al. (SPAA 2016), who
+generalise red-blue pebbling to hierarchies with more than two levels.
+This subpackage implements that generalisation: L levels of memory, level
+0 the fastest, each level with its own capacity, values moving one level
+at a time at per-boundary transfer costs.
+
+Level count 2 with capacities (R, unbounded) and unit transfer costs is
+exactly the red-blue game; the test-suite pins this equivalence against
+the core engine move-for-move.
+"""
+
+from .game import (
+    HierarchySpec,
+    MLCompute,
+    MLDelete,
+    MLMove,
+    MultilevelInstance,
+    MultilevelSimulator,
+    MultilevelState,
+    two_level_equivalent,
+)
+from .strategies import multilevel_topological_schedule
+
+__all__ = [
+    "HierarchySpec",
+    "MultilevelInstance",
+    "MultilevelState",
+    "MultilevelSimulator",
+    "MLCompute",
+    "MLDelete",
+    "MLMove",
+    "two_level_equivalent",
+    "multilevel_topological_schedule",
+]

@@ -1,0 +1,64 @@
+"""Strategies for the multi-level game.
+
+:func:`multilevel_topological_schedule` generalises the Section 3 naive
+baseline: walk a topological order; before computing v, bubble each input
+up to level 0 (paying each boundary once), compute, then sink everything
+back down one level past the working set.  It realises the multi-level
+analogue of the (2*Delta+1)*n bound with per-boundary costs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.dag import Node
+from .game import MLCompute, MLDelete, MLMove, MultilevelInstance
+
+__all__ = ["multilevel_topological_schedule"]
+
+
+def multilevel_topological_schedule(
+    instance: MultilevelInstance,
+    order: Optional[Sequence[Node]] = None,
+    *,
+    park_level: Optional[int] = None,
+) -> List:
+    """The naive strategy: everything parks at ``park_level`` (default:
+    the slowest level) between uses.
+
+    Per node: each input is bubbled up from the parking level to level 0
+    and back down, plus the node itself is computed and sunk — at most
+    2 * (Delta + 1) boundary crossings per hierarchy boundary per node.
+    Returns a flat move list runnable by
+    :class:`~repro.multilevel.game.MultilevelSimulator`.
+    """
+    dag = instance.dag
+    levels = instance.spec.levels
+    park = park_level if park_level is not None else levels - 1
+    if not (0 <= park < levels):
+        raise ValueError(f"no such level {park}")
+    order = list(order) if order is not None else list(dag.topological_order())
+
+    moves: List = []
+    computed = set()
+
+    def bubble_up(v: Node) -> None:
+        for lvl in range(park - 1, -1, -1):
+            moves.append(MLMove(v, lvl))
+
+    def sink_down(v: Node) -> None:
+        for lvl in range(1, park + 1):
+            moves.append(MLMove(v, lvl))
+
+    for v in order:
+        preds = dag.predecessors(v)
+        for p in sorted(preds, key=repr):
+            if p not in computed:
+                raise ValueError(f"order is not topological: {v!r} before {p!r}")
+            bubble_up(p)
+        moves.append(MLCompute(v))
+        computed.add(v)
+        sink_down(v)
+        for p in sorted(preds, key=repr):
+            sink_down(p)
+    return moves

@@ -1,0 +1,28 @@
+"""NP-substrate solvers: Hamiltonian path and minimum vertex cover.
+
+The hardness reductions of Theorems 2 and 3 map these problems into
+pebbling; these exact solvers provide the ground truth that the reduction
+benchmarks calibrate against.
+"""
+
+from .hamiltonian import (
+    count_hamiltonian_paths,
+    find_hamiltonian_path,
+    has_hamiltonian_path,
+)
+from .vertex_cover import (
+    is_vertex_cover,
+    max_independent_set,
+    min_vertex_cover,
+    vertex_cover_2approx,
+)
+
+__all__ = [
+    "has_hamiltonian_path",
+    "find_hamiltonian_path",
+    "count_hamiltonian_paths",
+    "min_vertex_cover",
+    "vertex_cover_2approx",
+    "is_vertex_cover",
+    "max_independent_set",
+]

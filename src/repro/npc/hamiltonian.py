@@ -1,0 +1,126 @@
+"""Exact Hamiltonian path solvers (Held-Karp bitmask DP).
+
+Hamiltonian Path is the source problem of the paper's Theorem 2 reduction.
+These solvers handle the instance sizes the reduction benchmarks use
+(n <= ~18 exactly; the DP is O(2^n * n^2) time, O(2^n * n) space).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..generators.graphs import UndirectedGraph
+
+__all__ = [
+    "has_hamiltonian_path",
+    "find_hamiltonian_path",
+    "count_hamiltonian_paths",
+]
+
+
+def _adj_masks(graph: UndirectedGraph) -> List[int]:
+    masks = [0] * graph.n
+    for u, v in graph.edges:
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return masks
+
+
+def find_hamiltonian_path(graph: UndirectedGraph) -> Optional[Tuple[int, ...]]:
+    """Return a Hamiltonian path as a node tuple, or None if none exists.
+
+    Held-Karp over (visited-set, last-node) states with parent pointers.
+    The empty and single-node graphs trivially have a path.
+    """
+    n = graph.n
+    if n == 0:
+        return ()
+    if n == 1:
+        return (0,)
+    adj = _adj_masks(graph)
+    full = (1 << n) - 1
+
+    # reachable[mask] = bitmask of nodes that can be the last node of a
+    # path visiting exactly `mask`.
+    reachable = [0] * (1 << n)
+    for v in range(n):
+        reachable[1 << v] = 1 << v
+
+    for mask in range(1, full + 1):
+        ends = reachable[mask]
+        if not ends:
+            continue
+        v = 0
+        e = ends
+        while e:
+            if e & 1:
+                nxts = adj[v] & ~mask
+                w_bits = nxts
+                w = 0
+                while w_bits:
+                    if w_bits & 1:
+                        reachable[mask | (1 << w)] |= 1 << w
+                    w_bits >>= 1
+                    w += 1
+            e >>= 1
+            v += 1
+
+    if not reachable[full]:
+        return None
+
+    # Reconstruct backwards: pick any feasible last node, then repeatedly
+    # find a predecessor that is adjacent and reachable as an end of the
+    # reduced mask.
+    last = (reachable[full] & -reachable[full]).bit_length() - 1
+    path = [last]
+    mask = full
+    while mask != (1 << path[-1]):
+        cur = path[-1]
+        rest = mask ^ (1 << cur)
+        prev_candidates = reachable[rest] & adj[cur]
+        assert prev_candidates, "DP table inconsistent"
+        prev = (prev_candidates & -prev_candidates).bit_length() - 1
+        path.append(prev)
+        mask = rest
+    path.reverse()
+    return tuple(path)
+
+
+def has_hamiltonian_path(graph: UndirectedGraph) -> bool:
+    """Decision version: True iff the graph has a Hamiltonian path."""
+    return find_hamiltonian_path(graph) is not None
+
+
+def count_hamiltonian_paths(graph: UndirectedGraph) -> int:
+    """Count Hamiltonian paths (each undirected path counted once).
+
+    Dynamic programming over (mask, last); directed path count halved.
+    Intended for small n in tests (e.g. the path graph has exactly 1).
+    """
+    n = graph.n
+    if n == 0:
+        return 1
+    if n == 1:
+        return 1
+    adj = _adj_masks(graph)
+    full = (1 << n) - 1
+    counts = [[0] * n for _ in range(1 << n)]
+    for v in range(n):
+        counts[1 << v][v] = 1
+    for mask in range(1, full + 1):
+        row = counts[mask]
+        for v in range(n):
+            c = row[v]
+            if not c or not (mask >> v) & 1:
+                continue
+            nxts = adj[v] & ~mask
+            w = 0
+            bits = nxts
+            while bits:
+                if bits & 1:
+                    counts[mask | (1 << w)][w] += c
+                bits >>= 1
+                w += 1
+    directed = sum(counts[full])
+    assert directed % 2 == 0
+    return directed // 2

@@ -1,0 +1,22 @@
+"""The paper's hardness constructions (Theorems 2-4)."""
+
+from .common import GroupSystem, GroupVisitor, InputGroup
+from .constant_degree import CDGroupSystem, constant_degree_system
+from .greedy_grid import GreedyGridConstruction, greedy_grid_construction, grid_group_greedy
+from .hampath import HamPathReduction, hampath_reduction
+from .vertex_cover import VertexCoverReduction, vertex_cover_reduction
+
+__all__ = [
+    "InputGroup",
+    "GroupSystem",
+    "GroupVisitor",
+    "CDGroupSystem",
+    "constant_degree_system",
+    "HamPathReduction",
+    "hampath_reduction",
+    "VertexCoverReduction",
+    "vertex_cover_reduction",
+    "GreedyGridConstruction",
+    "greedy_grid_construction",
+    "grid_group_greedy",
+]

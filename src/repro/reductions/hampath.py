@@ -1,0 +1,322 @@
+"""Theorem 2: NP-hardness of pebbling via Hamiltonian Path (Figure 5).
+
+Construction.  Given a graph G on N nodes and M edges, build one input
+group per node of G: group ``a`` has N-1 *contact nodes*, one per other
+node ``b``.  If (a, b) is an edge of G, the contact of a for b and the
+contact of b for a are **merged** into a single shared node; otherwise they
+stay distinct.  Each group feeds one sink *target* node; R = N.
+
+Every pebbling must visit the groups in some order pi; between consecutive
+groups the red pebbles must migrate, and the migration is cheaper exactly
+when the two groups share a (merged) contact node — i.e. when the two
+G-nodes are adjacent.  Minimising the pebbling cost therefore maximises the
+number of adjacent consecutive pairs, which reaches N-1 iff G has a
+Hamiltonian path.
+
+Model coverage and exact per-order costs of the canonical strategy (AC =
+number of adjacent consecutive pairs of the order; X = number of exclusive
+contacts = N(N-1) - 2M; S = X + M source nodes):
+
+=========  =====================================================
+oneshot    (N-1) + 2*(M - AC)
+nodel      N*(N-1) - AC
+base       6X + 8M + (N-1) - 2*AC      (private H2C per source, Appendix A.2)
+compcost   base + eps*(S*(N+4) + N)   (the paper's (R+4) per source)
+=========  =====================================================
+
+These formulas are verified move-for-move against the simulator in the
+test-suite, and on small instances the exact state-space solver confirms
+the canonical strategy is optimal.  They differ from the paper's Appendix
+A.2 budget constants (the appendix prices a strategy that stores and
+re-loads every migrated pebble; under the literal model semantics a fresh
+source is computed free and a dead value deleted free) — the *separation*
+between Hamiltonian and non-Hamiltonian instances, which is all the
+reduction needs, is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.dag import ComputationDAG, Node
+from ..core.instance import PebblingInstance
+from ..core.models import DEFAULT_EPSILON, Model
+from ..core.moves import Compute, Delete, Load, Move, Store
+from ..core.schedule import Schedule
+from ..gadgets.h2c import H2CInfo, attach_h2c
+from ..generators.graphs import UndirectedGraph
+from ..solvers.group import held_karp_min_order
+from .common import GroupSystem, InputGroup
+
+__all__ = ["HamPathReduction", "hampath_reduction"]
+
+
+def _contact(a: int, b: int, merged: bool) -> Node:
+    if merged:
+        return ("v", min(a, b), max(a, b))
+    return ("v", a, b)
+
+
+@dataclass(frozen=True)
+class HamPathReduction:
+    """The Theorem 2 pebbling instance built from a graph G."""
+
+    graph: UndirectedGraph
+    model: Model
+    dag: ComputationDAG
+    red_limit: int
+    groups: Tuple[Tuple[Node, ...], ...]  # contact nodes per G-node
+    targets: Tuple[Node, ...]
+    system: Optional[GroupSystem]  # oneshot/nodel only
+    h2c: Optional[H2CInfo]  # base/compcost only
+    epsilon: Fraction = DEFAULT_EPSILON
+
+    # ------------------------------------------------------------------ #
+    # instance plumbing
+    # ------------------------------------------------------------------ #
+
+    def instance(self) -> PebblingInstance:
+        return PebblingInstance(
+            dag=self.dag,
+            model=self.model,
+            red_limit=self.red_limit,
+            epsilon=self.epsilon,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        return self.graph.m
+
+    @property
+    def n_exclusive_contacts(self) -> int:
+        return self.n * (self.n - 1) - 2 * self.m
+
+    @property
+    def n_sources(self) -> int:
+        """Contact nodes = sources of the plain construction."""
+        return self.n_exclusive_contacts + self.m
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+
+    def adjacent_consecutive(self, order: Sequence[int]) -> int:
+        return sum(
+            1 for a, b in zip(order, order[1:]) if self.graph.has_edge(a, b)
+        )
+
+    def cost_of_order(self, order: Sequence[int]) -> Fraction:
+        """Exact cost of the canonical strategy for a visit order (see the
+        module docstring table); tests pin it against the simulator."""
+        if sorted(order) != list(range(self.n)):
+            raise ValueError("order must be a permutation of the G-nodes")
+        n, m = self.n, self.m
+        ac = self.adjacent_consecutive(order)
+        x = self.n_exclusive_contacts
+        if self.model is Model.ONESHOT:
+            return Fraction((n - 1) + 2 * (m - ac))
+        if self.model is Model.NODEL:
+            return Fraction(n * (n - 1) - ac)
+        base = Fraction(6 * x + 8 * m + (n - 1) - 2 * ac)
+        if self.model is Model.BASE:
+            return base
+        # compcost: every compute of the same move sequence costs epsilon
+        computes = self.n_sources * (n + 4) + n
+        return base + self.epsilon * computes
+
+    def decision_threshold(self) -> Fraction:
+        """The budget C such that (cost <= C)  iff  G has a Ham. path.
+
+        Evaluates the per-order cost formula at AC = N-1, the maximum
+        achievable count of adjacent consecutive pairs."""
+        n, m = self.n, self.m
+        x = self.n_exclusive_contacts
+        if self.model is Model.ONESHOT:
+            return Fraction((n - 1) + 2 * (m - (n - 1)))
+        if self.model is Model.NODEL:
+            return Fraction((n - 1) ** 2)
+        base = Fraction(6 * x + 8 * m - (n - 1))
+        if self.model is Model.BASE:
+            return base
+        computes = self.n_sources * (n + 4) + n
+        return base + self.epsilon * computes
+
+    def transition_matrix(self):
+        """(start, trans, offset) with cost(order) = path_cost + offset,
+        in Held-Karp form for :func:`held_karp_min_order`."""
+        n, m = self.n, self.m
+        x = self.n_exclusive_contacts
+        start = [Fraction(0)] * n
+
+        def t(a: int, b: int) -> Fraction:
+            adj = self.graph.has_edge(a, b)
+            if self.model is Model.ONESHOT:
+                return Fraction(1 if adj else 3)
+            if self.model is Model.NODEL:
+                return Fraction(n - 1 if adj else n)
+            return Fraction(0 if adj else 2)  # base / compcost
+
+        trans = [[t(a, b) for b in range(n)] for a in range(n)]
+        if self.model is Model.ONESHOT:
+            offset = Fraction(2 * m - 2 * (n - 1))
+        elif self.model is Model.NODEL:
+            offset = Fraction(0)
+        else:
+            offset = Fraction(6 * x + 8 * m + (n - 1) - 2 * (n - 1))
+            if self.model is Model.COMPCOST:
+                offset += self.epsilon * (self.n_sources * (n + 4) + n)
+        return start, trans, offset
+
+    def optimal_order(self) -> Tuple[Fraction, Tuple[int, ...]]:
+        """Minimum-cost visit order (exact, Held-Karp over <= 18 nodes)."""
+        start, trans, offset = self.transition_matrix()
+        cost, order = held_karp_min_order(start, trans)
+        return cost + offset, order
+
+    def decide_hamiltonian_path(self) -> bool:
+        """The reduction run backwards: solve the pebbling (over visit
+        orders) and compare with the decision threshold."""
+        cost, _ = self.optimal_order()
+        return cost <= self.decision_threshold()
+
+    # ------------------------------------------------------------------ #
+    # schedules
+    # ------------------------------------------------------------------ #
+
+    def schedule_for_order(self, order: Sequence[int]) -> Schedule:
+        """The canonical strategy as an explicit, simulator-checkable
+        schedule."""
+        if self.model in (Model.ONESHOT, Model.NODEL):
+            assert self.system is not None
+            return self.system.emit_visit_schedule(order, self.model)
+        return self._h2c_schedule(order)
+
+    def _h2c_schedule(self, order: Sequence[int]) -> Schedule:
+        """base/compcost: phase 1 runs every contact's private H2C gadget
+        (4 transfers + 1 store each); phase 2 visits groups, loading
+        contacts from blue."""
+        assert self.h2c is not None
+        moves: List[Move] = []
+        dag = self.dag
+
+        # ---- phase 1: compute every contact through its gadget ---------
+        all_contacts = sorted(
+            {c for grp in self.groups for c in grp}, key=repr
+        )
+        for v in all_contacts:
+            starters = self.h2c.starters[v]
+            u1, u2, u3 = starters
+            b_group = dag.predecessors(u1)  # the private B group of v
+            s = dag.predecessors(b_group[0])[0]  # its private deep source
+            moves.append(Compute(s))
+            for b in b_group:
+                moves.append(Compute(b))
+            moves.append(Delete(s))
+            moves.append(Compute(u1))
+            moves.append(Store(u1))
+            moves.append(Compute(u2))
+            moves.append(Store(u2))
+            moves.append(Compute(u3))
+            moves.append(Delete(b_group[0]))
+            moves.append(Delete(b_group[1]))
+            moves.append(Load(u1))
+            moves.append(Load(u2))
+            moves.append(Delete(b_group[2]))
+            moves.append(Compute(v))
+            for u in (u1, u2, u3):
+                moves.append(Delete(u))
+            for b in b_group[3:]:
+                moves.append(Delete(b))
+            moves.append(Store(v))
+
+        # ---- phase 2: group visits --------------------------------------
+        member_of: Dict[Node, List[int]] = {}
+        for a in range(self.n):
+            for c in self.groups[a]:
+                member_of.setdefault(c, []).append(a)
+
+        red: Set[Node] = set()
+        unvisited = set(order)
+        for a in order:
+            unvisited.discard(a)
+            members = set(self.groups[a])
+            for w in sorted(red - members, key=repr):
+                red.discard(w)
+                if not dag.successors(w):  # a previous target (sink)
+                    moves.append(Store(w))
+                else:  # a contact: needed again iff an owning group is unvisited
+                    needed = any(g in unvisited for g in member_of[w])
+                    moves.append(Store(w) if needed else Delete(w))
+            for w in sorted(members - red, key=repr):
+                moves.append(Load(w))
+                red.add(w)
+            moves.append(Compute(("t", a)))
+            red.add(("t", a))
+        return Schedule(moves)
+
+
+def hampath_reduction(
+    graph: UndirectedGraph,
+    model: "Model | str" = Model.ONESHOT,
+    *,
+    epsilon: Fraction = DEFAULT_EPSILON,
+) -> HamPathReduction:
+    """Build the Theorem 2 construction for ``graph`` under ``model``.
+
+    For base/compcost the contact nodes are guarded by private H2C gadgets
+    (Appendix A.2), which requires N >= 4; oneshot/nodel require N >= 3
+    (so that R = N >= 3 can hold group + target pebbles).
+    """
+    model = Model.parse(model)
+    n = graph.n
+    if n < 3:
+        raise ValueError("the reduction needs N >= 3")
+    if model in (Model.BASE, Model.COMPCOST) and n < 4:
+        raise ValueError("base/compcost H2C variant needs N >= 4")
+
+    groups: List[Tuple[Node, ...]] = []
+    for a in range(n):
+        contacts = tuple(
+            _contact(a, b, graph.has_edge(a, b)) for b in range(n) if b != a
+        )
+        groups.append(contacts)
+    targets = tuple(("t", a) for a in range(n))
+
+    input_groups = [
+        InputGroup(id=a, members=groups[a], targets=(targets[a],))
+        for a in range(n)
+    ]
+    system = GroupSystem(input_groups)
+
+    if model in (Model.ONESHOT, Model.NODEL):
+        return HamPathReduction(
+            graph=graph,
+            model=model,
+            dag=system.dag,
+            red_limit=system.red_limit,
+            groups=tuple(groups),
+            targets=targets,
+            system=system,
+            h2c=None,
+            epsilon=epsilon,
+        )
+
+    # base / compcost: guard every contact with a private H2C gadget
+    dag, h2c = attach_h2c(system.dag, n, shared=False, label="h2c")
+    return HamPathReduction(
+        graph=graph,
+        model=model,
+        dag=dag,
+        red_limit=n,
+        groups=tuple(groups),
+        targets=targets,
+        system=None,
+        h2c=h2c,
+        epsilon=epsilon,
+    )

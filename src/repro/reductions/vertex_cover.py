@@ -1,0 +1,218 @@
+"""Theorem 3: UGC 2-inapproximability via Vertex Cover (Figures 6-7).
+
+Construction.  Given a graph G on N nodes and a size parameter k (the
+paper takes k = omega(N^2); any k >= N + 1 yields a structurally faithful
+instance), build for every node ``a`` of G two input groups of size k:
+
+* the *first-level* group V_{a,1} with N-1 target nodes t_{a,1,b}
+  (one per other node b);
+* the *second-level* group V_{a,2} with a single target t_{a,2}.
+
+Both groups share k - N *common nodes*; for every edge (a, b) of G the
+first-level target t_{b,1,a} is a member of V_{a,2} (so V_{b,1} must be
+visited before V_{a,2}); the rest is filled with fresh nodes up to
+cardinality k.  R = k + 1.
+
+Pebbling economics (oneshot): visiting V_{a,1} and V_{a,2} consecutively
+lets the k - N common nodes stay red in between — free.  Any
+non-consecutive visit forces 2(k - N) transfers on them.  Because an edge
+(a, b) makes V_{b,1} a prerequisite of V_{a,2}, at most one endpoint of
+every edge can have its two groups consecutive: the non-consecutive nodes
+form a vertex cover, and the pebbling cost is
+
+    2 * (k - N) * |VC|  +  O(N^2).
+
+A delta-approximation of the pebbling optimum therefore yields a
+delta-approximation of minimum vertex cover, which contradicts the unique
+games conjecture for delta < 2 [Khot & Regev 2008].
+
+This module builds the construction (as a :class:`GroupSystem`), derives
+visit sequences from any vertex cover, prices them exactly via the
+simulator, and exposes the 2k'|VC| lower-bound accounting the benchmark
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..core.instance import PebblingInstance
+from ..core.models import Model
+from ..core.schedule import Schedule
+from ..core.simulator import PebblingSimulator
+from ..generators.graphs import UndirectedGraph
+from ..npc.vertex_cover import is_vertex_cover, min_vertex_cover, vertex_cover_2approx
+from .common import GroupSystem, InputGroup
+
+__all__ = ["VertexCoverReduction", "vertex_cover_reduction"]
+
+GroupKey = Tuple[int, int]  # (node, level)
+
+
+@dataclass(frozen=True)
+class VertexCoverReduction:
+    """The Theorem 3 pebbling instance built from a graph G."""
+
+    graph: UndirectedGraph
+    k: int
+    system: GroupSystem
+    common: Tuple[Tuple[object, ...], ...]  # common nodes per G-node
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def k_common(self) -> int:
+        """k' = k - N, the number of common nodes per node's group pair."""
+        return self.k - self.n
+
+    @property
+    def red_limit(self) -> int:
+        return self.k + 1
+
+    def instance(self, model: "Model | str" = Model.ONESHOT) -> PebblingInstance:
+        return PebblingInstance(
+            dag=self.system.dag, model=Model.parse(model), red_limit=self.red_limit
+        )
+
+    # ------------------------------------------------------------------ #
+    # sequences
+    # ------------------------------------------------------------------ #
+
+    def sequence_for_cover(self, cover: Iterable[int]) -> List[GroupKey]:
+        """The paper's optimal strategy for a vertex cover VC:
+        first-level groups of VC, then both groups of each independent-set
+        node consecutively, then second-level groups of VC."""
+        cover_set = set(cover)
+        if not is_vertex_cover(self.graph, cover_set):
+            raise ValueError("the given set is not a vertex cover")
+        independent = [a for a in range(self.n) if a not in cover_set]
+        seq: List[GroupKey] = [(c, 1) for c in sorted(cover_set)]
+        for a in independent:
+            seq.append((a, 1))
+            seq.append((a, 2))
+        seq.extend((c, 2) for c in sorted(cover_set))
+        return seq
+
+    def consecutive_pairs(self, sequence: Sequence[GroupKey]) -> int:
+        """Number of nodes whose two groups appear consecutively."""
+        count = 0
+        for (g1, g2) in zip(sequence, sequence[1:]):
+            if g1[0] == g2[0] and g1[1] == 1 and g2[1] == 2:
+                count += 1
+        return count
+
+    def implied_cover(self, sequence: Sequence[GroupKey]) -> FrozenSet[int]:
+        """The vertex cover a pebbling's visit sequence defines: the nodes
+        whose groups are *not* consecutive (Appendix A.3)."""
+        consecutive = set()
+        for (g1, g2) in zip(sequence, sequence[1:]):
+            if g1[0] == g2[0] and g1[1] == 1 and g2[1] == 2:
+                consecutive.add(g1[0])
+        return frozenset(a for a in range(self.n) if a not in consecutive)
+
+    # ------------------------------------------------------------------ #
+    # costs
+    # ------------------------------------------------------------------ #
+
+    def schedule_for_sequence(
+        self, sequence: Sequence[GroupKey], model: "Model | str" = Model.ONESHOT
+    ) -> Schedule:
+        return self.system.emit_visit_schedule(sequence, model)
+
+    def cost_of_sequence(
+        self, sequence: Sequence[GroupKey], model: "Model | str" = Model.ONESHOT
+    ) -> Fraction:
+        """Exact (simulated) cost of the canonical strategy for a visit
+        sequence."""
+        sched = self.schedule_for_sequence(sequence, model)
+        return PebblingSimulator(self.instance(model)).run(
+            sched, require_complete=True
+        ).cost
+
+    def cost_of_cover(
+        self, cover: Iterable[int], model: "Model | str" = Model.ONESHOT
+    ) -> Fraction:
+        return self.cost_of_sequence(self.sequence_for_cover(cover), model)
+
+    def dominant_term(self, cover_size: int) -> int:
+        """The paper's leading cost term 2 * k' * |VC|."""
+        return 2 * self.k_common * cover_size
+
+    def slack(self) -> int:
+        """Safe size of the O(N^2) bucket: per-group constants plus target
+        stores/loads."""
+        return 4 * self.n * self.n + 6 * self.n
+
+    def optimal_cost_upper_bound(self) -> Fraction:
+        """Cost of the strategy driven by an exact minimum vertex cover."""
+        return self.cost_of_cover(min_vertex_cover(self.graph))
+
+    def approx_cost_upper_bound(self) -> Fraction:
+        """Cost of the strategy driven by the maximal-matching
+        2-approximation — the unconditional factor the paper's
+        inapproximability says cannot be beaten below 2."""
+        return self.cost_of_cover(vertex_cover_2approx(self.graph))
+
+    def lower_bound(self) -> Fraction:
+        """2k' per non-consecutive group pair, minimised over sequences:
+        2k'|VC_min| (Appendix A.3)."""
+        return Fraction(self.dominant_term(len(min_vertex_cover(self.graph))))
+
+
+def vertex_cover_reduction(
+    graph: UndirectedGraph, k: "int | None" = None
+) -> VertexCoverReduction:
+    """Build the Theorem 3 construction.
+
+    ``k`` defaults to N^2 + N + 1 (a polynomially bounded stand-in for the
+    paper's omega(N^2)); any k >= N + 1 is accepted for structurally
+    faithful small test instances.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError("the reduction needs N >= 2")
+    if k is None:
+        k = n * n + n + 1
+    if k < n + 1:
+        raise ValueError(f"k must be at least N + 1 = {n + 1}")
+
+    groups: List[InputGroup] = []
+    common_per_node: List[Tuple[object, ...]] = []
+    for a in range(n):
+        common = tuple(("com", a, i) for i in range(k - n))
+        common_per_node.append(common)
+
+        # first level: common + N fillers, targets t_{a,1,b} for b != a
+        fillers1 = tuple(("f1", a, i) for i in range(n))
+        targets1 = tuple(("t1", a, b) for b in range(n) if b != a)
+        groups.append(
+            InputGroup(id=(a, 1), members=common + fillers1, targets=targets1)
+        )
+
+        # second level: common + neighbour first-level targets + fillers,
+        # single target t_{a,2}
+        neighbour_targets = tuple(
+            ("t1", b, a) for b in sorted(graph.neighbors(a))
+        )
+        fillers2 = tuple(
+            ("f2", a, i) for i in range(n - len(neighbour_targets))
+        )
+        members2 = common + neighbour_targets + fillers2
+        assert len(members2) == k
+        groups.append(
+            InputGroup(id=(a, 2), members=members2, targets=(("t2", a),))
+        )
+
+    system = GroupSystem(groups)
+    return VertexCoverReduction(
+        graph=graph,
+        k=k,
+        system=system,
+        common=tuple(common_per_node),
+    )

@@ -1,0 +1,39 @@
+"""Solvers: exact optimal pebbling, visit-order optimization, bounds."""
+
+from .bounds import (
+    compcost_lower_bound,
+    feasible,
+    fft_io_lower_bound,
+    matmul_io_lower_bound,
+    nodel_lower_bound,
+    required_nodes,
+    trivial_lower_bound,
+    upper_bound_naive,
+)
+from .exact import OptimalResult, decide_pebbling, solve_optimal
+from .idastar import solve_optimal_idastar
+from .group import (
+    brute_force_min_order,
+    held_karp_min_order,
+    nearest_neighbor_order,
+    two_opt_improve,
+)
+
+__all__ = [
+    "solve_optimal",
+    "solve_optimal_idastar",
+    "decide_pebbling",
+    "OptimalResult",
+    "held_karp_min_order",
+    "brute_force_min_order",
+    "nearest_neighbor_order",
+    "two_opt_improve",
+    "feasible",
+    "upper_bound_naive",
+    "trivial_lower_bound",
+    "nodel_lower_bound",
+    "compcost_lower_bound",
+    "required_nodes",
+    "matmul_io_lower_bound",
+    "fft_io_lower_bound",
+]

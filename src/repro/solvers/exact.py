@@ -1,0 +1,196 @@
+"""Exact optimal pebbling via uniform-cost search over pebbling states.
+
+The state graph has one vertex per :class:`PebblingState` and one weighted
+edge per legal move; the optimal pebbling cost is the shortest distance
+from the empty board to any complete state.  Dijkstra over this graph is
+exponential in general — the paper proves the problem NP-hard (Theorem 2)
+and PSPACE-complete in base [Demaine & Liu] — so this solver is the
+*ground-truth oracle for small instances* that every other component is
+calibrated against.
+
+Safe prunes applied (all cost-preserving, see the test-suite):
+
+* blue pebbles are never deleted (a blue pebble occupies no red slot and
+  never blocks a move, so removing it can only destroy options);
+* zero-cost moves are explored first through the priority queue ordering,
+  which keeps the frontier small on gadget DAGs.
+
+For the base model, optimal pebblings may be superpolynomially long
+(Section 4) but never *cheaper* than shorter ones below any fixed budget;
+uniform-cost search handles zero-cost cycles because visited states are
+closed at their first settled cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.dag import ComputationDAG
+from ..core.errors import BudgetExceededError, SolverError
+from ..core.instance import PebblingInstance
+from ..core.moves import Move
+from ..core.schedule import Schedule
+from ..core.state import PebblingState, apply_move, legal_moves
+
+__all__ = ["OptimalResult", "solve_optimal", "decide_pebbling"]
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Result of an exact search.
+
+    Attributes
+    ----------
+    cost:
+        The optimal pebbling cost.
+    schedule:
+        One optimal schedule (None when reconstruction was disabled).
+    expanded:
+        Number of states popped from the frontier.
+    generated:
+        Number of successor states generated.
+    """
+
+    cost: Fraction
+    schedule: Optional[Schedule]
+    expanded: int
+    generated: int
+
+    @property
+    def length(self) -> Optional[int]:
+        """Number of moves of the reconstructed optimal pebbling."""
+        return len(self.schedule) if self.schedule is not None else None
+
+
+Heuristic = Callable[[PebblingState, PebblingInstance], Fraction]
+
+
+def compcost_heuristic(state: PebblingState, instance: PebblingInstance) -> Fraction:
+    """Admissible heuristic for compcost: every still-uncomputed node that
+    some unpebbled sink transitively needs must be computed at least once,
+    at epsilon each."""
+    dag = instance.dag
+    eps = instance.costs.compute_cost
+    if eps == 0:
+        return Fraction(0)
+    needed = set()
+    for s in dag.sinks:
+        if not state.has_pebble(s):
+            needed.add(s)
+            needed.update(dag.ancestors(s))
+    missing = sum(1 for v in needed if v not in state.computed and dag.predecessors(v))
+    return eps * missing
+
+
+def solve_optimal(
+    instance: PebblingInstance,
+    *,
+    budget: int = 2_000_000,
+    return_schedule: bool = True,
+    heuristic: Optional[Heuristic] = None,
+) -> OptimalResult:
+    """Find an optimal pebbling by (heuristic-guided) uniform-cost search.
+
+    Parameters
+    ----------
+    instance:
+        The pebbling problem; any of the four models.
+    budget:
+        Maximum number of state expansions before
+        :class:`BudgetExceededError` is raised.
+    return_schedule:
+        Reconstruct and return one optimal schedule (costs memory for
+        parent pointers; disable for pure cost queries on larger searches).
+    heuristic:
+        Optional admissible heuristic ``h(state, instance)`` turning the
+        search into A*.  :func:`compcost_heuristic` is provided.
+
+    Notes
+    -----
+    The search frontier never contains a state twice with a worse key, and
+    states are closed permanently at their first pop (correct because all
+    move costs are non-negative).
+    """
+    dag: ComputationDAG = instance.dag
+    costs = instance.costs
+    red_limit = instance.red_limit
+    start = PebblingState.initial()
+
+    if start.is_complete(dag):  # DAG with no sinks (empty DAG)
+        return OptimalResult(Fraction(0), Schedule(), 0, 0)
+
+    h0 = heuristic(start, instance) if heuristic else Fraction(0)
+    counter = itertools.count()
+    frontier: List[Tuple[Fraction, int, PebblingState]] = [(h0, next(counter), start)]
+    best_g: Dict[PebblingState, Fraction] = {start: Fraction(0)}
+    parents: Dict[PebblingState, Tuple[PebblingState, Move]] = {}
+    closed = set()
+    expanded = 0
+    generated = 0
+
+    while frontier:
+        f, _, state = heapq.heappop(frontier)
+        if state in closed:
+            continue
+        closed.add(state)
+        g = best_g[state]
+
+        if state.is_complete(dag):
+            schedule = _reconstruct(parents, state) if return_schedule else None
+            return OptimalResult(g, schedule, expanded, generated)
+
+        expanded += 1
+        if expanded > budget:
+            raise BudgetExceededError(budget)
+
+        for move in legal_moves(state, dag, costs, red_limit):
+            nxt, cost = apply_move(state, move, dag, costs, red_limit)
+            if nxt in closed:
+                continue
+            ng = g + cost
+            if nxt not in best_g or ng < best_g[nxt]:
+                best_g[nxt] = ng
+                if return_schedule:
+                    parents[nxt] = (state, move)
+                nh = heuristic(nxt, instance) if heuristic else Fraction(0)
+                heapq.heappush(frontier, (ng + nh, next(counter), nxt))
+                generated += 1
+
+    raise SolverError(
+        "search space exhausted without reaching a complete state "
+        "(this should be impossible for a feasible instance)"
+    )
+
+
+def _reconstruct(
+    parents: Dict[PebblingState, Tuple[PebblingState, Move]],
+    goal: PebblingState,
+) -> Schedule:
+    moves: List[Move] = []
+    state = goal
+    while state in parents:
+        state, move = parents[state]
+        moves.append(move)
+    moves.reverse()
+    return Schedule(moves)
+
+
+def decide_pebbling(
+    instance: PebblingInstance,
+    cost_budget: Optional[Fraction] = None,
+    *,
+    budget: int = 2_000_000,
+) -> bool:
+    """The decision problem of Section 1: does a pebbling of cost <= C exist?
+
+    ``cost_budget`` defaults to the instance's own ``cost_budget``.
+    """
+    c = cost_budget if cost_budget is not None else instance.cost_budget
+    if c is None:
+        raise ValueError("no cost budget given")
+    result = solve_optimal(instance, budget=budget, return_schedule=False)
+    return result.cost <= Fraction(c)

@@ -1,0 +1,63 @@
+"""Tests for the ASCII board timeline renderer."""
+
+import pytest
+
+from repro import ComputationDAG, Compute, PebblingInstance, Store
+from repro.analysis import render_timeline
+from repro.generators import chain_dag
+
+
+@pytest.fixture
+def inst():
+    return PebblingInstance(dag=chain_dag(3), model="nodel", red_limit=2)
+
+
+class TestTimeline:
+    def test_one_line_per_move_plus_header(self, inst):
+        sched = [Compute(0), Compute(1), Store(0), Compute(2)]
+        text = render_timeline(inst, sched)
+        assert len(text.splitlines()) == 5
+
+    def test_glyphs(self, inst):
+        sched = [Compute(0), Compute(1), Store(0), Compute(2)]
+        lines = render_timeline(inst, sched).splitlines()
+        assert "R" in lines[1]          # 0 computed red
+        assert "b" in lines[3]          # 0 stored blue
+        assert "cost 1" in lines[3]
+
+    def test_illegal_schedule_raises(self, inst):
+        from repro import IllegalMoveError
+
+        with pytest.raises(IllegalMoveError):
+            render_timeline(inst, [Compute(2)])
+
+    def test_custom_column_order(self, inst):
+        text = render_timeline(inst, [Compute(0)], nodes=[2, 1, 0])
+        header = text.splitlines()[0]
+        assert header.index("2") < header.index("0")
+
+    def test_unknown_column_rejected(self, inst):
+        with pytest.raises(ValueError):
+            render_timeline(inst, [], nodes=["zz"])
+
+    def test_long_schedules_elided(self):
+        dag = chain_dag(2)
+        inst = PebblingInstance(dag=dag, model="base", red_limit=2)
+        sched = [Compute(0)]
+        from repro import Delete
+
+        for _ in range(150):
+            sched += [Delete(0), Compute(0)]
+        sched += [Compute(1)]
+        text = render_timeline(inst, sched, max_steps=50)
+        assert "elided" in text
+        assert len(text.splitlines()) < 60
+
+    def test_deleted_node_marked_computed(self):
+        dag = ComputationDAG(nodes=["x", "y"])
+        inst = PebblingInstance(dag=dag, model="base", red_limit=1)
+        from repro import Delete
+
+        text = render_timeline(inst, [Compute("x"), Delete("x"), Compute("y")])
+        last = text.splitlines()[-1]
+        assert "." in last  # x computed but unpebbled

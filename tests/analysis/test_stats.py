@@ -1,0 +1,67 @@
+"""Tests for schedule statistics."""
+
+import pytest
+
+from repro import ComputationDAG, Compute, Delete, Load, PebblingInstance, Store
+from repro.analysis import schedule_stats
+from repro.generators import grid_stencil_dag, pyramid_dag
+from repro.heuristics import fixed_order_schedule
+
+
+@pytest.fixture
+def inst():
+    dag = ComputationDAG([("a", "b"), ("b", "c")])
+    return PebblingInstance(dag=dag, model="oneshot", red_limit=2)
+
+
+class TestScheduleStats:
+    def test_transfer_accounting(self, inst):
+        sched = [Compute("a"), Compute("b"), Store("a"), Compute("c"),
+                 Delete("b"), Load("a")]
+        stats = schedule_stats(inst, sched)
+        assert stats.transfers_by_node == {"a": 2}
+        assert stats.total_transfers == 2
+        assert stats.cost == 2
+
+    def test_working_set_profile(self, inst):
+        sched = [Compute("a"), Compute("b"), Store("a"), Compute("c")]
+        stats = schedule_stats(inst, sched)
+        assert stats.working_set == (1, 2, 1, 2)
+        assert stats.peak_working_set == 2
+        assert stats.mean_working_set == 1.5
+
+    def test_reuse_distances(self):
+        # b is used by two consumers three moves apart
+        dag = ComputationDAG([("b", "x"), ("b", "y")])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+        sched = [Compute("b"), Compute("x"), Compute("y")]
+        stats = schedule_stats(inst, sched)
+        assert stats.reuse_distances == (1,)
+        assert stats.mean_reuse_distance == 1.0
+
+    def test_no_reuse_yields_none(self, inst):
+        stats = schedule_stats(inst, [Compute("a")])
+        assert stats.mean_reuse_distance is None
+
+    def test_hottest_nodes_sorted(self):
+        dag = grid_stencil_dag(4, 4)
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+        stats = schedule_stats(inst, fixed_order_schedule(inst))
+        counts = [c for _, c in stats.hottest_nodes]
+        assert counts == sorted(counts, reverse=True)
+        assert len(stats.hottest_nodes) <= 10
+
+    def test_stats_cost_matches_simulator(self):
+        from repro import PebblingSimulator
+
+        dag = pyramid_dag(3)
+        inst = PebblingInstance(dag=dag, model="nodel", red_limit=3)
+        sched = fixed_order_schedule(inst)
+        stats = schedule_stats(inst, sched)
+        assert stats.cost == PebblingSimulator(inst).run(sched).cost
+
+    def test_illegal_schedule_raises(self, inst):
+        from repro import IllegalMoveError
+
+        with pytest.raises(IllegalMoveError):
+            schedule_stats(inst, [Compute("c")])

@@ -1,0 +1,80 @@
+"""Tests for tradeoff curves."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PebblingInstance, PebblingSimulator
+from repro.analysis import TradeoffCurve, tradeoff_curve
+from repro.gadgets import optimal_tradeoff_schedule, tradeoff_dag
+from repro.generators import pyramid_dag
+from repro.solvers import solve_optimal
+
+
+class TestTradeoffCurve:
+    def curve(self):
+        return TradeoffCurve(
+            points=((3, Fraction(10)), (4, Fraction(6)), (5, Fraction(0)))
+        )
+
+    def test_accessors(self):
+        c = self.curve()
+        assert c.r_values == [3, 4, 5]
+        assert c.cost_at(4) == 6
+        with pytest.raises(KeyError):
+            c.cost_at(7)
+
+    def test_monotonicity(self):
+        assert self.curve().is_monotone_decreasing()
+        bad = TradeoffCurve(points=((3, Fraction(1)), (4, Fraction(2))))
+        assert not bad.is_monotone_decreasing()
+
+    def test_drops_and_max_drop(self):
+        c = self.curve()
+        assert c.drops() == [4, 6]
+        assert c.max_drop() == 6
+
+    def test_max_drop_law(self):
+        c = self.curve()
+        assert c.respects_max_drop_law(3)  # 2n = 6 >= max drop
+        assert not c.respects_max_drop_law(2)  # 2n = 4 < 6
+
+    def test_saturation(self):
+        assert self.curve().saturation_r() == 5
+        c = TradeoffCurve(points=((3, Fraction(5)),))
+        assert c.saturation_r() is None
+
+    def test_rejects_unsorted_points(self):
+        with pytest.raises(ValueError):
+            TradeoffCurve(points=((5, Fraction(0)), (3, Fraction(2))))
+
+    def test_empty_curve(self):
+        c = TradeoffCurve(points=())
+        assert c.max_drop() == 0
+
+
+class TestMeasuredCurves:
+    def test_exact_curve_on_pyramid(self):
+        dag = pyramid_dag(2)
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+        curve = tradeoff_curve(
+            inst,
+            [3, 4, 5],
+            lambda i: solve_optimal(i, return_schedule=False).cost,
+        )
+        assert curve.is_monotone_decreasing()
+        assert curve.respects_max_drop_law(dag.n_nodes)
+
+    def test_figure4_curve_via_strategy(self):
+        d, n = 3, 15
+        td = tradeoff_dag(d, n)
+        inst = PebblingInstance(dag=td.dag, model="oneshot", red_limit=d + 2)
+
+        def strategy_cost(i):
+            sched = optimal_tradeoff_schedule(td, i.red_limit, "oneshot")
+            return PebblingSimulator(i).run(sched, require_complete=True).cost
+
+        curve = tradeoff_curve(inst, range(d + 2, 2 * d + 3), strategy_cost)
+        assert curve.saturation_r() == 2 * d + 2
+        assert curve.is_monotone_decreasing()
+        assert curve.respects_max_drop_law(td.dag.n_nodes)

@@ -1,0 +1,152 @@
+"""Unit tests for ComputationDAG."""
+
+import networkx as nx
+import pytest
+
+from repro import ComputationDAG, CycleError, GraphError
+
+
+def diamond():
+    # a -> b, a -> c, b -> d, c -> d
+    return ComputationDAG([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_empty_dag(self):
+        dag = ComputationDAG()
+        assert dag.n_nodes == 0
+        assert dag.n_edges == 0
+        assert dag.max_indegree == 0
+
+    def test_isolated_nodes_are_sources_and_sinks(self):
+        dag = ComputationDAG(nodes=["x", "y"])
+        assert dag.sources == {"x", "y"}
+        assert dag.sinks == {"x", "y"}
+
+    def test_basic_counts(self):
+        dag = diamond()
+        assert dag.n_nodes == 4
+        assert dag.n_edges == 4
+        assert dag.max_indegree == 2
+        assert dag.min_red_pebbles == 3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            ComputationDAG([("a", "a")])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(GraphError):
+            ComputationDAG([("a", "b"), ("a", "b")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(CycleError):
+            ComputationDAG([("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_cycle_error_reports_remaining(self):
+        # a <-> b is a cycle; c hangs off it, so all 3 nodes survive peeling.
+        with pytest.raises(CycleError) as err:
+            ComputationDAG([("a", "b"), ("b", "a"), ("a", "c")])
+        assert err.value.remaining == 3
+
+    def test_from_predecessor_map(self):
+        dag = ComputationDAG.from_predecessor_map({"c": ["a", "b"], "a": [], "b": []})
+        assert dag.predecessors("c") == ("a", "b")
+        assert dag.sources == {"a", "b"}
+        assert dag.sinks == {"c"}
+
+
+class TestAccessors:
+    def test_sources_and_sinks(self):
+        dag = diamond()
+        assert dag.sources == {"a"}
+        assert dag.sinks == {"d"}
+
+    def test_predecessors_successors(self):
+        dag = diamond()
+        assert set(dag.predecessors("d")) == {"b", "c"}
+        assert set(dag.successors("a")) == {"b", "c"}
+        assert dag.predecessors("a") == ()
+        assert dag.successors("d") == ()
+
+    def test_degrees(self):
+        dag = diamond()
+        assert dag.indegree("d") == 2
+        assert dag.outdegree("a") == 2
+        assert dag.indegree("a") == 0
+
+    def test_contains_iter_len(self):
+        dag = diamond()
+        assert "a" in dag and "z" not in dag
+        assert len(dag) == 4
+        assert set(iter(dag)) == {"a", "b", "c", "d"}
+
+    def test_topological_order_respects_edges(self):
+        dag = diamond()
+        order = dag.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in dag.edges():
+            assert pos[u] < pos[v]
+
+    def test_edges_iteration_complete(self):
+        dag = diamond()
+        assert sorted(dag.edges()) == [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+
+    def test_non_sources_in_topo_order(self):
+        dag = diamond()
+        ns = dag.non_sources()
+        assert set(ns) == {"b", "c", "d"}
+        assert ns[-1] == "d"
+
+
+class TestDerivedStructure:
+    def test_ancestors(self):
+        dag = diamond()
+        assert dag.ancestors("d") == {"a", "b", "c"}
+        assert dag.ancestors("a") == frozenset()
+
+    def test_descendants(self):
+        dag = diamond()
+        assert dag.descendants("a") == {"b", "c", "d"}
+        assert dag.descendants("d") == frozenset()
+
+    def test_depth_of_diamond(self):
+        assert diamond().depth() == 2
+
+    def test_depth_of_chain(self):
+        chain = ComputationDAG([(i, i + 1) for i in range(10)])
+        assert chain.depth() == 10
+
+    def test_depth_of_edgeless(self):
+        assert ComputationDAG(nodes=[1, 2]).depth() == 0
+
+    def test_relabel(self):
+        dag = diamond().relabel({"a": "A", "d": "D"})
+        assert dag.sources == {"A"}
+        assert dag.sinks == {"D"}
+        assert dag.n_edges == 4
+
+    def test_relabel_rejects_collision(self):
+        with pytest.raises(GraphError):
+            diamond().relabel({"a": "b"})
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self):
+        dag = diamond()
+        g = dag.to_networkx()
+        back = ComputationDAG.from_networkx(g)
+        assert set(back.edges()) == set(dag.edges())
+        assert set(back.nodes) == set(dag.nodes)
+
+    def test_topological_order_agrees_with_networkx_validity(self):
+        dag = diamond()
+        g = dag.to_networkx()
+        assert nx.is_directed_acyclic_graph(g)
+        pos = {v: i for i, v in enumerate(dag.topological_order())}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_max_indegree_agrees_with_networkx(self):
+        dag = diamond()
+        g = dag.to_networkx()
+        assert dag.max_indegree == max(d for _, d in g.in_degree())

@@ -1,0 +1,105 @@
+"""Tests for the model variants and their cost structure (paper Table 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import ALL_MODELS, CostModel, DEFAULT_EPSILON, Model, cost_model_for
+
+
+class TestModelEnum:
+    def test_four_variants(self):
+        assert len(ALL_MODELS) == 4
+        assert {m.value for m in ALL_MODELS} == {"base", "oneshot", "nodel", "compcost"}
+
+    def test_parse_string(self):
+        assert Model.parse("oneshot") is Model.ONESHOT
+        assert Model.parse("BASE") is Model.BASE
+
+    def test_parse_model_identity(self):
+        assert Model.parse(Model.NODEL) is Model.NODEL
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            Model.parse("twoshot")
+
+
+class TestCostModels:
+    def test_base_all_free_except_transfers(self):
+        cm = cost_model_for("base")
+        assert cm.load_cost == 1 and cm.store_cost == 1
+        assert cm.compute_cost == 0 and cm.delete_cost == 0
+        assert cm.recompute_allowed and cm.delete_allowed
+
+    def test_oneshot_forbids_recompute_only(self):
+        cm = cost_model_for("oneshot")
+        assert not cm.recompute_allowed
+        assert cm.delete_allowed
+        assert cm.compute_cost == 0
+
+    def test_nodel_forbids_delete_only(self):
+        cm = cost_model_for("nodel")
+        assert cm.recompute_allowed
+        assert not cm.delete_allowed
+
+    def test_compcost_charges_epsilon(self):
+        cm = cost_model_for("compcost")
+        assert cm.compute_cost == DEFAULT_EPSILON == Fraction(1, 100)
+        assert cm.recompute_allowed and cm.delete_allowed
+
+    def test_compcost_custom_epsilon(self):
+        cm = cost_model_for("compcost", epsilon=Fraction(1, 3))
+        assert cm.compute_cost == Fraction(1, 3)
+
+    def test_compcost_epsilon_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            cost_model_for("compcost", epsilon=1)
+        with pytest.raises(ValueError):
+            cost_model_for("compcost", epsilon=0)
+        with pytest.raises(ValueError):
+            cost_model_for("compcost", epsilon=Fraction(3, 2))
+
+    def test_costs_are_exact_fractions(self):
+        for m in ALL_MODELS:
+            cm = cost_model_for(m)
+            for attr in ("load_cost", "store_cost", "compute_cost", "delete_cost"):
+                assert isinstance(getattr(cm, attr), Fraction)
+
+    def test_transfer_cost(self):
+        assert cost_model_for("base").transfer_cost == 2
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(model=Model.BASE, load_cost=Fraction(-1))
+
+    def test_coercion_from_int(self):
+        cm = CostModel(model=Model.BASE, load_cost=2)
+        assert cm.load_cost == Fraction(2)
+
+
+class TestTable1:
+    """The table1_row renderings must reproduce the paper's Table 1."""
+
+    def test_base_row(self):
+        row = cost_model_for("base").table1_row()
+        assert row == {
+            "model": "base",
+            "blue_to_red": "1",
+            "red_to_blue": "1",
+            "compute": "0",
+            "delete": "0",
+        }
+
+    def test_oneshot_row_marks_single_compute(self):
+        row = cost_model_for("oneshot").table1_row()
+        assert row["compute"] == "0,inf,inf,..."
+        assert row["delete"] == "0"
+
+    def test_nodel_row_marks_delete_inf(self):
+        row = cost_model_for("nodel").table1_row()
+        assert row["delete"] == "inf"
+        assert row["compute"] == "0"
+
+    def test_compcost_row_shows_epsilon(self):
+        row = cost_model_for("compcost").table1_row()
+        assert row["compute"] == "1/100"

@@ -1,0 +1,99 @@
+"""Tests for the independent schedule auditor."""
+
+import pytest
+
+from repro import (
+    ComputationDAG,
+    Compute,
+    Delete,
+    Load,
+    PebblingInstance,
+    PebblingSimulator,
+    Store,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def inst():
+    dag = ComputationDAG([("a", "c"), ("b", "c")])
+    return PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+
+
+GOOD = [Compute("a"), Compute("b"), Compute("c")]
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, inst):
+        report = validate_schedule(inst, GOOD)
+        assert report.ok
+        assert report.cost == 0
+        assert report.violations == []
+        report.raise_if_invalid()
+
+    def test_incomplete_schedule_fails(self, inst):
+        report = validate_schedule(inst, [Compute("a")])
+        assert not report.ok
+        assert report.unpebbled_sinks == ("c",)
+        with pytest.raises(AssertionError):
+            report.raise_if_invalid()
+
+    def test_illegal_compute_recorded_and_skipped(self, inst):
+        # c computed before its inputs: violation, then the audit continues.
+        report = validate_schedule(inst, [Compute("c")] + GOOD)
+        assert not report.ok
+        assert any("non-red input" in v for v in report.violations)
+
+    def test_oneshot_recompute_flagged(self, inst):
+        report = validate_schedule(
+            inst, GOOD + [Delete("a"), Compute("a")]
+        )
+        assert any("recomputes" in v for v in report.violations)
+
+    def test_nodel_delete_flagged(self, inst):
+        nodel = inst.with_model("nodel")
+        report = validate_schedule(nodel, GOOD + [Delete("a")])
+        assert any("forbidden" in v for v in report.violations)
+
+    def test_capacity_violation_flagged(self):
+        dag = ComputationDAG(nodes=["x", "y", "z"])
+        small = PebblingInstance(dag=dag, model="base", red_limit=2)
+        report = validate_schedule(
+            small, [Compute("x"), Compute("y"), Compute("z")]
+        )
+        assert any("exceeds R=2" in v for v in report.violations)
+
+    def test_load_store_bookkeeping(self, inst):
+        schedule = GOOD + [Store("a"), Load("a")]
+        report = validate_schedule(inst, schedule)
+        assert report.ok
+        assert report.cost == 2
+
+    def test_unknown_node_flagged(self, inst):
+        report = validate_schedule(inst, [Compute("nope")])
+        assert any("unknown node" in v for v in report.violations)
+
+    def test_compute_counts_recorded(self, inst):
+        base = inst.with_model("base")
+        schedule = GOOD + [Delete("a"), Compute("a")]
+        report = validate_schedule(base, schedule)
+        assert report.compute_counts["a"] == 2
+
+    def test_multiple_violations_all_reported(self, inst):
+        report = validate_schedule(inst, [Load("a"), Store("a"), Delete("a")])
+        assert len(report.violations) == 3
+
+
+class TestValidatorAgreesWithSimulator:
+    """The auditor and the simulator are independent implementations; they
+    must price identical legal schedules identically."""
+
+    @pytest.mark.parametrize("model", ["base", "oneshot", "nodel", "compcost"])
+    def test_costs_agree(self, model):
+        dag = ComputationDAG([("a", "b"), ("b", "c")])
+        inst = PebblingInstance(dag=dag, model=model, red_limit=2)
+        schedule = [Compute("a"), Compute("b"), Store("a"), Compute("c")]
+        sim_cost = PebblingSimulator(inst).run(schedule, require_complete=True).cost
+        report = validate_schedule(inst, schedule)
+        assert report.ok
+        assert report.cost == sim_cost

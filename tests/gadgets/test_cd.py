@@ -1,0 +1,115 @@
+"""Tests for the constant-degree gadget (Figure 1, Appendix B)."""
+
+import pytest
+
+from repro import PebblingInstance, PebblingSimulator
+from repro.gadgets import cd_gadget_dag
+from repro.gadgets.cd import free_cd_schedule
+from repro.solvers import solve_optimal
+
+
+class TestStructure:
+    def test_counts(self):
+        R, h = 4, 3
+        dag, info = cd_gadget_dag(R, h)
+        assert len(info.left) == R - 1
+        assert len(info.chain) == h * (R - 1)
+        # left + chain + 1 target
+        assert dag.n_nodes == (R - 1) + h * (R - 1) + 1
+
+    def test_indegree_at_most_two(self):
+        dag, _ = cd_gadget_dag(5, 4)
+        assert dag.max_indegree == 2
+
+    def test_each_chain_node_uses_one_left_node(self):
+        R, h = 4, 2
+        dag, info = cd_gadget_dag(R, h)
+        for idx, g in enumerate(info.chain):
+            preds = set(dag.predecessors(g))
+            assert info.left[idx % (R - 1)] in preds
+
+    def test_chain_links(self):
+        dag, info = cd_gadget_dag(4, 2)
+        for prev, cur in zip(info.chain, info.chain[1:]):
+            assert prev in dag.predecessors(cur)
+
+    def test_exit_feeds_targets(self):
+        dag, info = cd_gadget_dag(4, 2, n_targets=2)
+        for t in range(2):
+            assert dag.predecessors(("cd", "t", t)) == (info.exit,)
+
+    def test_required_reds(self):
+        _, info = cd_gadget_dag(6, 2)
+        assert info.required_reds == 5 + 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            cd_gadget_dag(1, 3)
+        with pytest.raises(ValueError):
+            cd_gadget_dag(4, 0)
+
+
+class TestPaperProperties:
+    """Appendix B: free with |left|+2 reds; cost >= ~2h with one fewer."""
+
+    def test_free_schedule_costs_zero_oneshot(self):
+        dag, info = cd_gadget_dag(4, 5)
+        inst = PebblingInstance(
+            dag=dag, model="oneshot", red_limit=info.required_reds
+        )
+        sched = free_cd_schedule(info, include_targets=[("cd", "t", 0)])
+        res = PebblingSimulator(inst).run(sched, require_complete=True)
+        assert res.cost == 0
+        assert res.max_red_in_use <= info.required_reds
+
+    def test_one_fewer_red_pebble_costs_order_h(self):
+        R, h = 3, 3
+        dag, _ = cd_gadget_dag(R, h)
+        # with R+1 = required reds: free
+        opt_full = solve_optimal(
+            PebblingInstance(dag=dag, model="oneshot", red_limit=R + 1)
+        )
+        assert opt_full.cost == 0
+        # with R reds: at least ~2 per layer (the gadget's cliff)
+        opt_less = solve_optimal(
+            PebblingInstance(dag=dag, model="oneshot", red_limit=R)
+        )
+        assert opt_less.cost >= 2 * (h - 1)
+
+    def test_cliff_grows_with_h(self):
+        R = 3
+        costs = []
+        for h in (2, 4):
+            dag, _ = cd_gadget_dag(R, h)
+            costs.append(
+                solve_optimal(
+                    PebblingInstance(dag=dag, model="oneshot", red_limit=R)
+                ).cost
+            )
+        assert costs[1] > costs[0]
+
+    def test_contrast_with_pyramid(self):
+        """Section 3: removing one red pebble from a pyramid costs only ~2,
+        while the CD gadget's cost jumps by order h — the paper's reason
+        for preferring the CD gadget."""
+        from repro.generators import pyramid_dag
+
+        pyr = pyramid_dag(3)
+        full = solve_optimal(
+            PebblingInstance(dag=pyr, model="oneshot", red_limit=5)
+        ).cost
+        less = solve_optimal(
+            PebblingInstance(dag=pyr, model="oneshot", red_limit=4)
+        ).cost
+        pyramid_jump = less - full
+
+        R, h = 3, 4
+        cd, _ = cd_gadget_dag(R, h)
+        cd_full = solve_optimal(
+            PebblingInstance(dag=cd, model="oneshot", red_limit=R + 1)
+        ).cost
+        cd_less = solve_optimal(
+            PebblingInstance(dag=cd, model="oneshot", red_limit=R)
+        ).cost
+        cd_jump = cd_less - cd_full
+        assert cd_jump > pyramid_jump

@@ -1,0 +1,104 @@
+"""Tests for the hard-to-compute gadget (Figure 2, Section 3)."""
+
+import pytest
+
+from repro import PebblingInstance
+from repro.gadgets import attach_h2c, h2c_dag
+from repro.generators import chain_dag
+from repro.solvers import solve_optimal
+
+
+class TestStructure:
+    def test_standalone_layout(self):
+        R = 5
+        dag, info = h2c_dag(R)
+        assert len(info.b_group) == R - 1
+        assert len(info.starters[(("h2c", "v"))]) == 3
+        # n = s + B + 3 starters + v
+        assert dag.n_nodes == 1 + (R - 1) + 3 + 1
+
+    def test_starters_consume_whole_b_group(self):
+        dag, info = h2c_dag(4)
+        for u in info.starters[("h2c", "v")]:
+            assert set(dag.predecessors(u)) == set(info.b_group)
+
+    def test_guarded_node_consumes_starters(self):
+        dag, info = h2c_dag(4)
+        assert set(dag.predecessors(("h2c", "v"))) == set(info.starters[("h2c", "v")])
+
+    def test_b_group_fed_by_s(self):
+        dag, info = h2c_dag(4)
+        for b in info.b_group:
+            assert dag.predecessors(b) == (info.s,)
+
+    def test_rejects_tiny_r(self):
+        with pytest.raises(ValueError):
+            h2c_dag(3)  # guarded node has indegree 3, needs R >= 4
+
+    def test_rejects_too_few_starters(self):
+        with pytest.raises(ValueError):
+            h2c_dag(6, n_starters=2)
+
+    def test_custom_starter_count(self):
+        dag, info = h2c_dag(6, n_starters=5)
+        assert len(info.starters[("h2c", "v")]) == 5
+        assert info.n_added_nodes == 1 + 5 + 5  # s + B + starters
+
+
+class TestPaperProperties:
+    """Section 3: 'computing v indirectly requires at least 4 transfer
+    operations, and thus it now has a constant cost of 4'."""
+
+    def test_oneshot_cost_is_exactly_four(self):
+        dag, _ = h2c_dag(4)
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=4)
+        assert solve_optimal(inst).cost == 4
+
+    def test_base_cost_is_exactly_four(self):
+        dag, _ = h2c_dag(4)
+        inst = PebblingInstance(dag=dag, model="base", red_limit=4)
+        assert solve_optimal(inst).cost == 4
+
+    def test_extra_red_pebble_removes_the_cost(self):
+        # with R+... enough pebbles the three starters stay red: no stores
+        dag, _ = h2c_dag(4)
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=7)
+        assert solve_optimal(inst).cost == 0
+
+
+class TestAttachment:
+    def test_shared_attachment_node_economy(self):
+        # 'we add 3 extra nodes for every source of the DAG, and a further
+        # R extra nodes to the DAG altogether' (R-1 group nodes plus s).
+        base = chain_dag(4)
+        R = 5
+        dag, info = attach_h2c(base, R)
+        assert dag.n_nodes == base.n_nodes + 3 * 1 + R  # one source in a chain
+
+    def test_guarded_source_no_longer_source(self):
+        base = chain_dag(3)
+        dag, info = attach_h2c(base, 5)
+        assert 0 not in dag.sources
+        assert set(dag.predecessors(0)) == set(info.starters[0])
+
+    def test_private_gadgets_are_disjoint(self):
+        from repro.generators import independent_tasks_dag
+
+        base = independent_tasks_dag(2, 0)  # two isolated task nodes
+        dag, info = attach_h2c(base, 5, shared=False)
+        # 2 sources * (1 s + 4 B + 3 starters) added
+        assert dag.n_nodes == 2 + 2 * (1 + 4 + 3)
+
+    def test_rejects_non_source_guard(self):
+        base = chain_dag(3)
+        with pytest.raises(ValueError):
+            attach_h2c(base, 5, guard=[1])
+
+    def test_rejects_unknown_guard(self):
+        with pytest.raises(ValueError):
+            attach_h2c(chain_dag(3), 5, guard=["nope"])
+
+    def test_original_edges_preserved(self):
+        base = chain_dag(3)
+        dag, _ = attach_h2c(base, 5)
+        assert (0, 1) in set(dag.edges()) and (1, 2) in set(dag.edges())

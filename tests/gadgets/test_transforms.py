@@ -1,0 +1,96 @@
+"""Tests for the Appendix C problem-definition transforms."""
+
+import pytest
+
+from repro import (
+    ComputationDAG,
+    Compute,
+    PebblingInstance,
+    PebblingSimulator,
+    Schedule,
+)
+from repro.gadgets import add_super_source, finalize_sinks_blue
+from repro.gadgets.transforms import lift_schedule_to_super_source
+from repro.generators import pyramid_dag
+from repro.solvers import solve_optimal
+
+
+class TestSuperSource:
+    def test_single_source(self):
+        dag = add_super_source(pyramid_dag(2))
+        assert dag.sources == {"s0"}
+
+    def test_edge_to_every_original_node(self):
+        base = pyramid_dag(2)
+        dag = add_super_source(base)
+        assert dag.outdegree("s0") == base.n_nodes
+
+    def test_rejects_label_collision(self):
+        dag = ComputationDAG(nodes=["s0"])
+        with pytest.raises(ValueError):
+            add_super_source(dag)
+
+    def test_lifted_schedule_same_cost_with_extra_pebble(self):
+        """Section 3: with R' = R+1 the transformed DAG behaves exactly as
+        the original — the lifted optimal schedule has identical cost."""
+        base = pyramid_dag(2)
+        inst = PebblingInstance(dag=base, model="oneshot", red_limit=3)
+        opt = solve_optimal(inst)
+
+        lifted_dag = add_super_source(base)
+        lifted_inst = PebblingInstance(
+            dag=lifted_dag, model="oneshot", red_limit=4
+        )
+        lifted = lift_schedule_to_super_source(opt.schedule)
+        res = PebblingSimulator(lifted_inst).run(lifted, require_complete=True)
+        assert res.cost == opt.cost
+
+    def test_lifted_optimum_not_worse(self):
+        base = pyramid_dag(2)
+        opt = solve_optimal(
+            PebblingInstance(dag=base, model="oneshot", red_limit=3)
+        ).cost
+        lifted_opt = solve_optimal(
+            PebblingInstance(
+                dag=add_super_source(base), model="oneshot", red_limit=4
+            ),
+            return_schedule=False,
+        ).cost
+        assert lifted_opt <= opt
+
+
+class TestBlueSinkFinalization:
+    def test_appends_stores_for_red_sinks(self):
+        dag = ComputationDAG(nodes=["x", "y"])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=2)
+        sched = Schedule([Compute("x"), Compute("y")])
+        final = finalize_sinks_blue(inst, sched)
+        res = PebblingSimulator(inst).run(final, require_complete=True)
+        assert res.final_state.blue == {"x", "y"}
+        # cost grows by exactly one store per red sink (Appendix C)
+        assert res.cost == 2
+
+    def test_no_op_when_sinks_already_blue(self):
+        dag = ComputationDAG(nodes=["x"])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=1)
+        from repro import Store
+
+        sched = Schedule([Compute("x"), Store("x")])
+        final = finalize_sinks_blue(inst, sched)
+        assert len(final) == len(sched)
+
+    def test_requires_complete_input(self):
+        dag = ComputationDAG(nodes=["x", "y"])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=2)
+        from repro import IncompletePebblingError
+
+        with pytest.raises(IncompletePebblingError):
+            finalize_sinks_blue(inst, Schedule([Compute("x")]))
+
+    def test_extra_cost_bounded_by_sink_count(self):
+        base = pyramid_dag(2)
+        inst = PebblingInstance(dag=base, model="oneshot", red_limit=3)
+        opt = solve_optimal(inst)
+        final = finalize_sinks_blue(inst, opt.schedule)
+        res = PebblingSimulator(inst).run(final, require_complete=True)
+        assert res.cost <= opt.cost + len(base.sinks)

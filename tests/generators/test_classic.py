@@ -1,0 +1,151 @@
+"""Tests for the classic HPC workload DAGs."""
+
+import pytest
+
+from repro.generators import (
+    binary_tree_dag,
+    butterfly_dag,
+    chain_dag,
+    grid_stencil_dag,
+    independent_tasks_dag,
+    matmul_dag,
+    pyramid_dag,
+)
+
+
+class TestChain:
+    def test_structure(self):
+        dag = chain_dag(5)
+        assert dag.n_nodes == 5 and dag.n_edges == 4
+        assert dag.max_indegree == 1
+        assert dag.sources == {0} and dag.sinks == {4}
+
+    def test_single_node(self):
+        dag = chain_dag(1)
+        assert dag.n_nodes == 1 and dag.n_edges == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            chain_dag(0)
+
+
+class TestPyramid:
+    def test_node_count_is_triangular(self):
+        h = 4
+        dag = pyramid_dag(h)
+        assert dag.n_nodes == (h + 1) * (h + 2) // 2
+
+    def test_single_apex(self):
+        dag = pyramid_dag(3)
+        assert dag.sinks == {("pyr", 3, 0)}
+
+    def test_sources_are_bottom_row(self):
+        dag = pyramid_dag(3)
+        assert dag.sources == {("pyr", 0, j) for j in range(4)}
+
+    def test_indegree_two(self):
+        dag = pyramid_dag(4)
+        assert dag.max_indegree == 2
+
+    def test_height_zero_is_single_node(self):
+        assert pyramid_dag(0).n_nodes == 1
+
+    def test_depth_equals_height(self):
+        assert pyramid_dag(5).depth() == 5
+
+
+class TestBinaryTree:
+    def test_node_count(self):
+        dag = binary_tree_dag(8)
+        assert dag.n_nodes == 15  # 8 + 4 + 2 + 1
+
+    def test_single_sink(self):
+        assert len(binary_tree_dag(8).sinks) == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            binary_tree_dag(6)
+
+    def test_single_leaf(self):
+        assert binary_tree_dag(1).n_nodes == 1
+
+
+class TestGridStencil:
+    def test_counts(self):
+        dag = grid_stencil_dag(3, 4)
+        assert dag.n_nodes == 12
+        # edges: (rows-1)*cols vertical + rows*(cols-1) horizontal
+        assert dag.n_edges == 2 * 4 + 3 * 3
+
+    def test_corner_source_and_sink(self):
+        dag = grid_stencil_dag(3, 3)
+        assert dag.sources == {("g", 0, 0)}
+        assert dag.sinks == {("g", 2, 2)}
+
+    def test_max_indegree_two(self):
+        assert grid_stencil_dag(3, 3).max_indegree == 2
+
+
+class TestButterfly:
+    def test_counts(self):
+        k = 3
+        dag = butterfly_dag(k)
+        n = 1 << k
+        assert dag.n_nodes == n * (k + 1)
+        assert dag.n_edges == 2 * n * k
+
+    def test_sources_and_sinks(self):
+        dag = butterfly_dag(2)
+        assert len(dag.sources) == 4 and len(dag.sinks) == 4
+
+    def test_indegree_two(self):
+        assert butterfly_dag(3).max_indegree == 2
+
+    def test_every_output_depends_on_every_input(self):
+        # the defining property of the FFT dataflow
+        dag = butterfly_dag(3)
+        for i in range(8):
+            anc = dag.ancestors(("b", 3, i))
+            assert {("b", 0, j) for j in range(8)} <= anc
+
+    def test_k_zero(self):
+        assert butterfly_dag(0).n_nodes == 1
+
+
+class TestMatmul:
+    def test_counts(self):
+        n = 3
+        dag = matmul_dag(n)
+        # 2n^2 inputs + n^3 products + n^2(n-1) partial sums
+        assert dag.n_nodes == 2 * n * n + n**3 + n * n * (n - 1)
+
+    def test_outputs(self):
+        dag = matmul_dag(2)
+        assert len(dag.sinks) == 4
+
+    def test_indegree_two(self):
+        assert matmul_dag(3).max_indegree == 2
+
+    def test_output_depends_on_row_and_column(self):
+        n = 2
+        dag = matmul_dag(n)
+        sink = ("S", 0, 0, 1)
+        anc = dag.ancestors(sink)
+        assert ("A", 0, 0) in anc and ("A", 0, 1) in anc
+        assert ("B", 0, 0) in anc and ("B", 1, 0) in anc
+
+    def test_n1_has_products_only(self):
+        dag = matmul_dag(1)
+        assert dag.sinks == {("P", 0, 0, 0)}
+
+
+class TestIndependentTasks:
+    def test_counts(self):
+        dag = independent_tasks_dag(4, 3)
+        assert dag.n_nodes == 4 * 4
+        assert len(dag.sinks) == 4
+        assert dag.max_indegree == 3
+
+    def test_zero_indegree(self):
+        dag = independent_tasks_dag(3, 0)
+        assert dag.n_edges == 0

@@ -1,0 +1,114 @@
+"""Tests for the undirected-graph generators used by the reductions."""
+
+import networkx as nx
+import pytest
+
+from repro.generators import (
+    UndirectedGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    planted_hampath_graph,
+    planted_vertex_cover_graph,
+    random_graph,
+    star_graph,
+)
+
+
+class TestUndirectedGraph:
+    def test_from_edges_normalises(self):
+        g = UndirectedGraph.from_edges(3, [(2, 0), (1, 2)])
+        assert g.edges == {(0, 2), (1, 2)}
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph.from_edges(3, [(1, 1)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph.from_edges(2, [(0, 5)])
+
+    def test_has_edge_symmetric(self):
+        g = path_graph(3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_neighbors_and_degree(self):
+        g = star_graph(5)
+        assert g.neighbors(0) == {1, 2, 3, 4}
+        assert g.degree(0) == 4 and g.degree(1) == 1
+
+    def test_adjacency_matches_neighbors(self):
+        g = cycle_graph(5)
+        adj = g.adjacency()
+        for v in range(5):
+            assert adj[v] == g.neighbors(v)
+
+    def test_complement(self):
+        g = path_graph(4)
+        comp = g.complement()
+        assert comp.m == 6 - 3
+        assert not any(g.has_edge(u, v) for u, v in comp.edges)
+
+    def test_networkx_round_trip(self):
+        g = random_graph(8, 0.4, seed=1)
+        back = UndirectedGraph.from_networkx(g.to_networkx())
+        assert back.edges == g.edges
+
+
+class TestNamedGraphs:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.m == 5
+
+
+class TestRandomGraph:
+    def test_deterministic(self):
+        assert random_graph(10, 0.5, seed=2).edges == random_graph(10, 0.5, seed=2).edges
+
+    def test_extremes(self):
+        assert random_graph(6, 0.0).m == 0
+        assert random_graph(6, 1.0).m == 15
+
+
+class TestPlantedInstances:
+    def test_planted_hampath_has_path(self):
+        g = planted_hampath_graph(8, extra_edges=3, seed=5)
+        assert nx.has_path(g.to_networkx(), 0, 1)  # connected along the plant
+        # the planted permutation path guarantees a Hamiltonian path exists
+        from repro.npc import has_hamiltonian_path
+
+        assert has_hamiltonian_path(g)
+
+    def test_planted_hampath_edge_budget(self):
+        g = planted_hampath_graph(7, extra_edges=2, seed=1)
+        assert g.m == 6 + 2
+
+    def test_planted_vc_bounded(self):
+        k = 3
+        g = planted_vertex_cover_graph(10, k, seed=7)
+        from repro.npc import is_vertex_cover, min_vertex_cover
+
+        assert is_vertex_cover(g, set(range(k)))
+        assert len(min_vertex_cover(g)) <= k
+
+    def test_planted_vc_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            planted_vertex_cover_graph(5, 9)

@@ -1,0 +1,81 @@
+"""Tests for the seeded random DAG generators."""
+
+import pytest
+
+from repro.generators import layered_random_dag, random_dag, random_in_tree
+
+
+class TestLayeredRandomDag:
+    def test_layer_widths(self):
+        dag = layered_random_dag([4, 3, 2], seed=1)
+        assert dag.n_nodes == 9
+        assert len(dag.sources) == 4
+        # all last-layer nodes are sinks (earlier nodes may be childless too)
+        assert {("n", 2, i) for i in range(2)} <= dag.sinks
+
+    def test_indegree_cap(self):
+        dag = layered_random_dag([5, 5, 5], indegree=2, seed=2)
+        assert dag.max_indegree <= 2
+
+    def test_dense_connects_fully(self):
+        dag = layered_random_dag([3, 4], dense=True)
+        assert dag.n_edges == 12
+
+    def test_deterministic_per_seed(self):
+        a = layered_random_dag([4, 4, 4], seed=7)
+        b = layered_random_dag([4, 4, 4], seed=7)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_seeds_differ(self):
+        a = layered_random_dag([6, 6, 6], seed=1)
+        b = layered_random_dag([6, 6, 6], seed=2)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_rejects_bad_layers(self):
+        with pytest.raises(ValueError):
+            layered_random_dag([])
+        with pytest.raises(ValueError):
+            layered_random_dag([3, 0])
+
+
+class TestRandomDag:
+    def test_acyclic_by_construction(self):
+        # ComputationDAG itself validates acyclicity; p=1 stresses it.
+        dag = random_dag(12, 1.0, seed=0)
+        assert dag.n_edges == 12 * 11 // 2
+
+    def test_p_zero_has_no_edges(self):
+        assert random_dag(10, 0.0).n_edges == 0
+
+    def test_indegree_cap_respected(self):
+        dag = random_dag(20, 0.8, seed=3, max_indegree=3)
+        assert dag.max_indegree <= 3
+
+    def test_deterministic(self):
+        assert set(random_dag(10, 0.4, seed=9).edges()) == set(
+            random_dag(10, 0.4, seed=9).edges()
+        )
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            random_dag(5, 1.5)
+
+
+class TestRandomInTree:
+    def test_is_tree(self):
+        dag = random_in_tree(15, seed=4)
+        assert dag.n_edges == 14
+        assert len(dag.sinks) == 1
+
+    def test_every_nonroot_has_one_consumer(self):
+        dag = random_in_tree(10, seed=5)
+        for v in dag:
+            if v != 0:
+                assert dag.outdegree(v) == 1
+
+    def test_max_children_cap(self):
+        dag = random_in_tree(30, seed=6, max_children=2)
+        assert dag.max_indegree <= 2
+
+    def test_single_node(self):
+        assert random_in_tree(1).n_nodes == 1

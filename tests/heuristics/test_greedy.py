@@ -1,0 +1,118 @@
+"""Tests for the Section 8 greedy rules."""
+
+import pytest
+
+from repro import ComputationDAG, PebblingInstance, validate_schedule
+from repro.generators import (
+    independent_tasks_dag,
+    layered_random_dag,
+    pyramid_dag,
+)
+from repro.heuristics import GreedyRule, greedy_pebble
+from repro.solvers import solve_optimal, upper_bound_naive
+
+
+ALL_RULES = list(GreedyRule)
+
+
+def make(dag, model="oneshot", R=4):
+    return PebblingInstance(dag=dag, model=model, red_limit=R)
+
+
+class TestGreedyBasics:
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_produces_valid_complete_schedule(self, rule):
+        inst = make(pyramid_dag(3), R=3)
+        result = greedy_pebble(inst, rule)
+        report = validate_schedule(inst, result.schedule)
+        assert report.ok, report.violations[:3]
+        assert report.cost == result.cost
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_computes_every_node_once(self, rule):
+        dag = pyramid_dag(2)
+        result = greedy_pebble(make(dag, R=3), rule)
+        assert sorted(result.order, key=repr) == sorted(dag.nodes, key=repr)
+
+    def test_rule_accepts_string(self):
+        inst = make(pyramid_dag(2), R=3)
+        result = greedy_pebble(inst, "most-red-inputs")
+        assert result.rule is GreedyRule.MOST_RED_INPUTS
+
+    @pytest.mark.parametrize("model", ["base", "oneshot", "nodel", "compcost"])
+    def test_all_models_supported(self, model):
+        inst = make(pyramid_dag(2), model, R=3)
+        result = greedy_pebble(inst)
+        assert validate_schedule(inst, result.schedule).ok
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_within_naive_upper_bound(self, rule):
+        dag = layered_random_dag([4, 4, 3], indegree=2, seed=3)
+        inst = make(dag, R=3)
+        result = greedy_pebble(inst, rule)
+        assert result.cost <= upper_bound_naive(dag, "oneshot")
+
+    def test_order_is_topological(self):
+        dag = layered_random_dag([3, 3, 3], indegree=2, seed=1)
+        result = greedy_pebble(make(dag, R=3))
+        pos = {v: i for i, v in enumerate(result.order)}
+        for u, v in dag.edges():
+            assert pos[u] < pos[v]
+
+
+class TestPaperProperties:
+    def test_red_rules_coincide_on_uniform_indegree(self):
+        """Section 8: with uniform (non-source) indegree k, 'most red
+        inputs' and 'red ratio' are the same ordering (ratio = red / k)."""
+        dag = independent_tasks_dag(4, 3)
+        inst = make(dag, R=4)
+        a = greedy_pebble(inst, GreedyRule.MOST_RED_INPUTS)
+        b = greedy_pebble(inst, GreedyRule.RED_RATIO)
+        assert a.order == b.order and a.cost == b.cost
+
+    def test_all_rules_free_without_pressure(self):
+        """With R large enough that nothing is ever stored, every rule
+        pebbles for free (they may order ties differently, but no rule can
+        be misled into paying transfers)."""
+        dag = independent_tasks_dag(3, 3)
+        inst = make(dag, R=dag.n_nodes + 1)
+        assert all(greedy_pebble(inst, r).cost == 0 for r in ALL_RULES)
+
+    def test_greedy_prefers_partially_red_groups(self):
+        """With red pebbles on its inputs, a target must win against
+        fresh groups (the mechanism the Theorem 4 misguidance exploits)."""
+        # two tasks; task 0's inputs get computed first by tie-breaking,
+        # then greedy must finish task 0 before starting task 1's inputs.
+        dag = independent_tasks_dag(2, 2)
+        inst = make(dag, R=3)
+        result = greedy_pebble(inst, GreedyRule.MOST_RED_INPUTS)
+        order = list(result.order)
+        t0 = order.index(("task", 0))
+        t1 = order.index(("task", 1))
+        first_task = min(t0, t1)
+        # the first task computed must appear before any input of the other
+        later_task = ("task", 1) if first_task == t0 else ("task", 0)
+        later_inputs = [order.index(("in", later_task[1], i)) for i in range(2)]
+        assert all(first_task < i for i in later_inputs)
+
+    def test_greedy_can_be_suboptimal(self):
+        """The paper's whole point: greedy != optimal.  A small instance
+        where following the reddest target first forces extra spills."""
+        # shared hub 'h' plus two targets with disjoint big input sets
+        dag = ComputationDAG(
+            [
+                ("h", "t1"), ("a", "t1"), ("b", "t1"),
+                ("h", "t2"), ("c", "t2"), ("d", "t2"),
+                ("t1", "s"), ("t2", "s"),
+            ]
+        )
+        inst = make(dag, R=4)
+        greedy_cost = greedy_pebble(inst).cost
+        opt_cost = solve_optimal(inst, return_schedule=False).cost
+        assert greedy_cost >= opt_cost
+
+    def test_greedy_optimal_on_chain(self):
+        from repro.generators import chain_dag
+
+        inst = make(chain_dag(10), R=2)
+        assert greedy_pebble(inst).cost == 0

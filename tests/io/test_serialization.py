@@ -1,0 +1,114 @@
+"""Tests for JSON round-trips and DOT export."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    ComputationDAG,
+    Compute,
+    Load,
+    PebblingInstance,
+    PebblingState,
+    Schedule,
+    Store,
+)
+from repro.gadgets import tradeoff_dag
+from repro.generators import pyramid_dag
+from repro.io import (
+    dag_from_json,
+    dag_to_json,
+    instance_from_json,
+    instance_to_json,
+    schedule_from_json,
+    schedule_to_json,
+    to_dot,
+)
+
+
+class TestDagSerialization:
+    def test_round_trip_simple(self):
+        dag = ComputationDAG([("a", "b"), ("b", "c")])
+        back = dag_from_json(dag_to_json(dag))
+        assert set(back.edges()) == set(dag.edges())
+        assert set(back.nodes) == set(dag.nodes)
+
+    def test_round_trip_tuple_labels(self):
+        dag = pyramid_dag(2)  # labels like ("pyr", 1, 0)
+        back = dag_from_json(dag_to_json(dag))
+        assert set(back.edges()) == set(dag.edges())
+
+    def test_round_trip_nested_construction(self):
+        td = tradeoff_dag(2, 4)
+        back = dag_from_json(dag_to_json(td.dag))
+        assert back.n_nodes == td.dag.n_nodes
+        assert back.max_indegree == td.dag.max_indegree
+
+    def test_isolated_nodes_preserved(self):
+        dag = ComputationDAG(nodes=["only"])
+        back = dag_from_json(dag_to_json(dag))
+        assert set(back.nodes) == {"only"}
+
+    def test_rejects_unserializable_label(self):
+        dag = ComputationDAG(nodes=[frozenset({1})])
+        with pytest.raises(TypeError):
+            dag_to_json(dag)
+
+    def test_indent_produces_readable_output(self):
+        dag = ComputationDAG([("a", "b")])
+        assert "\n" in dag_to_json(dag, indent=2)
+
+
+class TestScheduleSerialization:
+    def test_round_trip(self):
+        s = Schedule([Compute(("p", 1)), Store(("p", 1)), Load(("p", 1))])
+        assert schedule_from_json(schedule_to_json(s)) == s
+
+    def test_empty(self):
+        assert schedule_from_json(schedule_to_json(Schedule())) == Schedule()
+
+
+class TestInstanceSerialization:
+    def test_round_trip_defaults(self):
+        inst = PebblingInstance(
+            dag=ComputationDAG([("a", "b")]), model="oneshot", red_limit=2
+        )
+        back = instance_from_json(instance_to_json(inst))
+        assert back.model == inst.model
+        assert back.red_limit == 2
+        assert set(back.dag.edges()) == {("a", "b")}
+
+    def test_round_trip_budget_and_epsilon(self):
+        inst = PebblingInstance(
+            dag=ComputationDAG([("a", "b")]),
+            model="compcost",
+            red_limit=2,
+            cost_budget=Fraction(7, 2),
+            epsilon=Fraction(1, 50),
+        )
+        back = instance_from_json(instance_to_json(inst))
+        assert back.cost_budget == Fraction(7, 2)
+        assert back.epsilon == Fraction(1, 50)
+        assert back.costs.compute_cost == Fraction(1, 50)
+
+
+class TestDot:
+    def test_structure(self):
+        dag = ComputationDAG([("a", "b")])
+        dot = to_dot(dag)
+        assert dot.startswith("digraph")
+        assert '"a" -> "b";' in dot
+
+    def test_state_colouring(self):
+        dag = ComputationDAG([("a", "b")])
+        state = PebblingState(
+            frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"})
+        )
+        dot = to_dot(dag, state)
+        assert "#e05a5a" in dot  # red fill
+        assert "#5a7de0" in dot  # blue fill
+
+    def test_computed_grey(self):
+        dag = ComputationDAG([("a", "b")])
+        state = PebblingState(frozenset(), frozenset(), frozenset({"a"}))
+        assert "#d0d0d0" in to_dot(dag, state)

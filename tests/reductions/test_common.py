@@ -1,0 +1,160 @@
+"""Tests for the input-group system skeleton."""
+
+import pytest
+
+from repro import PebblingSimulator, validate_schedule
+from repro.reductions import GroupSystem, GroupVisitor, InputGroup
+
+
+def two_group_system():
+    g1 = InputGroup(id="g1", members=("a", "b"), targets=("t1",))
+    g2 = InputGroup(id="g2", members=("b", "t1"), targets=("t2",))
+    return GroupSystem([g1, g2])
+
+
+class TestConstruction:
+    def test_dag_edges(self):
+        sys = two_group_system()
+        assert set(sys.dag.predecessors("t1")) == {"a", "b"}
+        assert set(sys.dag.predecessors("t2")) == {"b", "t1"}
+
+    def test_red_limit_is_group_size_plus_one(self):
+        assert two_group_system().red_limit == 3
+
+    def test_member_and_target_maps(self):
+        sys = two_group_system()
+        assert sorted(sys.member_of["b"]) == ["g1", "g2"]
+        assert sys.target_of["t1"] == "g1"
+
+    def test_precedence_from_embedded_targets(self):
+        assert two_group_system().precedence() == [("g1", "g2")]
+
+    def test_valid_sequence(self):
+        sys = two_group_system()
+        assert sys.valid_sequence(["g1", "g2"])
+        assert not sys.valid_sequence(["g2", "g1"])
+        assert not sys.valid_sequence(["g1"])
+
+    def test_rejects_duplicate_ids(self):
+        g = InputGroup(id="g", members=("a",), targets=("t",))
+        g2 = InputGroup(id="g", members=("b",), targets=("u",))
+        with pytest.raises(ValueError):
+            GroupSystem([g, g2])
+
+    def test_rejects_target_of_two_groups(self):
+        g1 = InputGroup(id="g1", members=("a",), targets=("t",))
+        g2 = InputGroup(id="g2", members=("b",), targets=("t",))
+        with pytest.raises(ValueError):
+            GroupSystem([g1, g2])
+
+    def test_input_group_validation(self):
+        with pytest.raises(ValueError):
+            InputGroup(id="x", members=(), targets=("t",))
+        with pytest.raises(ValueError):
+            InputGroup(id="x", members=("a",), targets=())
+        with pytest.raises(ValueError):
+            InputGroup(id="x", members=("a",), targets=("a",))
+
+
+class TestEmitter:
+    @pytest.mark.parametrize("model", ["oneshot", "nodel"])
+    def test_emitted_schedule_is_valid_and_complete(self, model):
+        sys = two_group_system()
+        sched = sys.emit_visit_schedule(["g1", "g2"], model)
+        from repro import PebblingInstance
+
+        inst = PebblingInstance(dag=sys.dag, model=model, red_limit=sys.red_limit)
+        report = validate_schedule(inst, sched)
+        assert report.ok, report.violations[:3]
+
+    def test_rejects_invalid_sequence(self):
+        sys = two_group_system()
+        with pytest.raises(ValueError):
+            sys.emit_visit_schedule(["g2", "g1"])
+
+    def test_rejects_unsupported_model(self):
+        sys = two_group_system()
+        with pytest.raises(ValueError):
+            sys.emit_visit_schedule(["g1", "g2"], "base")
+
+    def test_shared_member_stays_red_between_visits(self):
+        """'b' belongs to both groups: no transfer should touch it."""
+        sys = two_group_system()
+        sched = sys.emit_visit_schedule(["g1", "g2"], "oneshot")
+        from repro import Load, Store
+
+        touched = [m for m in sched if m.node == "b"]
+        assert not any(isinstance(m, (Load, Store)) for m in touched)
+
+    def test_oneshot_stores_only_whats_needed(self):
+        # 'a' is exclusive to g1 and not a sink: deleted, not stored
+        sys = two_group_system()
+        sched = sys.emit_visit_schedule(["g1", "g2"], "oneshot")
+        from repro import Delete, Store
+
+        a_moves = [m for m in sched if m.node == "a"]
+        assert any(isinstance(m, Delete) for m in a_moves)
+        assert not any(isinstance(m, Store) for m in a_moves)
+
+    def test_nodel_never_deletes(self):
+        from repro import Delete
+
+        sys = two_group_system()
+        sched = sys.emit_visit_schedule(["g1", "g2"], "nodel")
+        assert sched.count(Delete) == 0
+
+    def test_capacity_respected(self):
+        from repro import PebblingInstance
+
+        sys = two_group_system()
+        inst = PebblingInstance(dag=sys.dag, model="oneshot", red_limit=3)
+        res = PebblingSimulator(inst).run(
+            sys.emit_visit_schedule(["g1", "g2"]), require_complete=True
+        )
+        assert res.max_red_in_use <= 3
+
+
+class TestVisitor:
+    def test_enabled_groups_initially_without_dependencies(self):
+        sys = two_group_system()
+        visitor = GroupVisitor(sys)
+        assert visitor.enabled_groups() == ["g1"]
+
+    def test_enabled_after_visit(self):
+        sys = two_group_system()
+        visitor = GroupVisitor(sys)
+        visitor.visit("g1")
+        assert visitor.enabled_groups() == ["g2"]
+
+    def test_red_members_score(self):
+        sys = two_group_system()
+        visitor = GroupVisitor(sys)
+        visitor.visit("g1")
+        # after g1: b red (shared), t1 red (last target) -> g2 scores 2
+        assert visitor.red_members("g2") == 2
+
+    def test_rejects_double_visit(self):
+        sys = two_group_system()
+        visitor = GroupVisitor(sys)
+        visitor.visit("g1")
+        with pytest.raises(ValueError):
+            visitor.visit("g1")
+
+    def test_rejects_disabled_group(self):
+        sys = two_group_system()
+        visitor = GroupVisitor(sys)
+        with pytest.raises(ValueError):
+            visitor.visit("g2")
+
+    def test_multi_target_group_spills_targets(self):
+        from repro import PebblingInstance, Store
+
+        g = InputGroup(id="g", members=("a", "b"), targets=("t1", "t2", "t3"))
+        sys = GroupSystem([g])
+        sched = sys.emit_visit_schedule(["g"])
+        inst = PebblingInstance(dag=sys.dag, model="oneshot", red_limit=3)
+        report = validate_schedule(inst, sched)
+        assert report.ok
+        # all but the last target must be stored to make room
+        stores = [m.node for m in sched if isinstance(m, Store)]
+        assert "t1" in stores and "t2" in stores and "t3" not in stores

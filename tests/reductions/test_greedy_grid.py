@@ -1,0 +1,125 @@
+"""Tests for the Theorem 4 greedy-adversarial grid (Figure 8)."""
+
+import pytest
+
+from repro import PebblingSimulator, validate_schedule
+from repro.reductions import greedy_grid_construction, grid_group_greedy
+
+
+class TestConstruction:
+    def test_group_count(self):
+        c = greedy_grid_construction(4, 5)
+        assert c.n_groups == 1 + 10
+        assert len(c.system.groups) == c.n_groups
+
+    def test_uniform_group_size(self):
+        c = greedy_grid_construction(3, 4)
+        assert all(g.size == c.k for g in c.system.groups.values())
+
+    def test_diagonal_commons_shared(self):
+        c = greedy_grid_construction(3, 4)
+        # groups (2,1) and (1,2) share diagonal 3 commons
+        g21 = set(c.system.groups[("g", 2, 1)].members)
+        g12 = set(c.system.groups[("g", 1, 2)].members)
+        commons = {("D", 3, i) for i in range(4)}
+        assert commons <= g21 and commons <= g12
+
+    def test_dependency_targets_chain_columns(self):
+        c = greedy_grid_construction(3, 4)
+        assert ("t", 1, 1) in c.system.groups[("g", 1, 2)].members
+        assert ("t", 1, 2) in c.system.groups[("g", 1, 3)].members
+
+    def test_s0_targets_in_bottom_groups(self):
+        c = greedy_grid_construction(3, 4)
+        for x in (1, 2, 3):
+            assert ("s0t", x) in c.system.groups[("g", x, 1)].members
+
+    def test_misguidance_intersections(self):
+        c = greedy_grid_construction(3, 4)
+        # top of column 2 = (2,2) shares mis(2) with bottom of column 1
+        assert ("mis", 2) in c.system.groups[("g", 2, 2)].members
+        assert ("mis", 2) in c.system.groups[("g", 1, 1)].members
+        # S0 shares mis(l+1) with (l, 1)
+        assert ("mis", 4) in c.system.groups[("S0",)].members
+        assert ("mis", 4) in c.system.groups[("g", 3, 1)].members
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            greedy_grid_construction(1, 4)
+        with pytest.raises(ValueError):
+            greedy_grid_construction(3, 0)
+        with pytest.raises(ValueError):
+            greedy_grid_construction(3, 5, k=6)
+
+
+class TestSequences:
+    def test_optimal_sequence_valid(self):
+        c = greedy_grid_construction(4, 5)
+        assert c.system.valid_sequence(c.optimal_sequence())
+
+    def test_predicted_greedy_sequence_valid(self):
+        c = greedy_grid_construction(4, 5)
+        assert c.system.valid_sequence(c.predicted_greedy_sequence())
+
+    def test_sequences_cover_all_groups_once(self):
+        c = greedy_grid_construction(3, 4)
+        for seq in (c.optimal_sequence(), c.predicted_greedy_sequence()):
+            assert len(seq) == c.n_groups
+            assert len(set(seq)) == c.n_groups
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("l,kc", [(2, 3), (3, 5), (4, 8)])
+    def test_greedy_follows_predicted_misguided_walk(self, l, kc):
+        """The core claim of Theorem 4: the greedy rule walks the columns
+        right-to-left, bottom-to-top — exactly as the misguidance nodes
+        steer it."""
+        c = greedy_grid_construction(l, kc)
+        _, seq = grid_group_greedy(c)
+        assert seq == c.predicted_greedy_sequence()
+
+    def test_greedy_schedule_valid(self):
+        c = greedy_grid_construction(3, 6)
+        sched, _ = grid_group_greedy(c)
+        report = validate_schedule(c.instance(), sched)
+        assert report.ok, report.violations[:3]
+
+    def test_optimal_schedule_valid(self):
+        c = greedy_grid_construction(3, 6)
+        sched = c.schedule_for_sequence(c.optimal_sequence())
+        report = validate_schedule(c.instance(), sched)
+        assert report.ok, report.violations[:3]
+
+    def test_greedy_strictly_worse_and_gap_grows(self):
+        ratios = []
+        for l, kc in [(3, 6), (5, 15)]:
+            c = greedy_grid_construction(l, kc)
+            sched, _ = grid_group_greedy(c)
+            greedy_cost = PebblingSimulator(c.instance()).run(
+                sched, require_complete=True
+            ).cost
+            opt_cost = c.cost_of_sequence(c.optimal_sequence())
+            assert greedy_cost > opt_cost
+            ratios.append(float(greedy_cost / opt_cost))
+        assert ratios[1] > ratios[0]
+
+    def test_greedy_cost_scales_with_commons(self):
+        """Greedy pays ~2k' per diagonal revisit: doubling k' roughly
+        doubles its cost while the optimum barely moves."""
+        l = 4
+        c1 = greedy_grid_construction(l, 8)
+        c2 = greedy_grid_construction(l, 16)
+        g1, _ = grid_group_greedy(c1)
+        g2, _ = grid_group_greedy(c2)
+        cost1 = PebblingSimulator(c1.instance()).run(g1, require_complete=True).cost
+        cost2 = PebblingSimulator(c2.instance()).run(g2, require_complete=True).cost
+        assert 1.6 < float(cost2 / cost1) < 2.4
+        opt1 = c1.cost_of_sequence(c1.optimal_sequence())
+        opt2 = c2.cost_of_sequence(c2.optimal_sequence())
+        assert abs(float(opt2 / opt1) - 1.0) < 0.5
+
+    def test_optimal_diagonal_sweep_beats_column_walk(self):
+        c = greedy_grid_construction(4, 10)
+        col = c.cost_of_sequence(c.predicted_greedy_sequence())
+        diag = c.cost_of_sequence(c.optimal_sequence())
+        assert diag < col

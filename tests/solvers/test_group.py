@@ -1,0 +1,135 @@
+"""Tests for the visit-order optimizers (Held-Karp & friends)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import SolverError
+from repro.solvers import (
+    brute_force_min_order,
+    held_karp_min_order,
+    nearest_neighbor_order,
+    two_opt_improve,
+)
+from repro.solvers.group import order_cost
+
+
+def matrix(n, fn):
+    return [[Fraction(fn(i, j)) for j in range(n)] for i in range(n)]
+
+
+def zeros(n):
+    return [Fraction(0)] * n
+
+
+class TestHeldKarp:
+    def test_trivial_sizes(self):
+        assert held_karp_min_order([], []) == (0, ())
+        cost, order = held_karp_min_order([Fraction(5)], [[Fraction(0)]])
+        assert cost == 5 and order == (0,)
+
+    def test_picks_cheap_path(self):
+        # 3 groups, transition cost = |i - j|: best order is monotone.
+        trans = matrix(3, lambda i, j: abs(i - j))
+        cost, order = held_karp_min_order(zeros(3), trans)
+        assert cost == 2
+        assert order in ((0, 1, 2), (2, 1, 0))
+
+    def test_start_costs_matter(self):
+        start = [Fraction(100), Fraction(0), Fraction(100)]
+        trans = matrix(3, lambda i, j: 1)
+        cost, order = held_karp_min_order(start, trans)
+        assert order[0] == 1 and cost == 2
+
+    def test_agrees_with_brute_force_random(self):
+        import random
+
+        rng = random.Random(42)
+        for trial in range(20):
+            n = rng.randrange(2, 7)
+            start = [Fraction(rng.randrange(10)) for _ in range(n)]
+            trans = matrix(n, lambda i, j: rng.randrange(10))
+            hk_cost, hk_order = held_karp_min_order(start, trans)
+            bf_cost, _ = brute_force_min_order(start, trans)
+            assert hk_cost == bf_cost
+            assert order_cost(hk_order, start, trans) == hk_cost
+
+    def test_precedence_respected(self):
+        trans = matrix(3, lambda i, j: 1)
+        cost, order = held_karp_min_order(
+            zeros(3), trans, precedence=[(2, 0), (1, 0)]
+        )
+        assert order.index(0) == 2  # 0 must come last
+
+    def test_precedence_agrees_with_brute_force(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(10):
+            n = 5
+            start = [Fraction(rng.randrange(5)) for _ in range(n)]
+            trans = matrix(n, lambda i, j: rng.randrange(5))
+            prec = [(0, 2), (1, 3)]
+            hk = held_karp_min_order(start, trans, precedence=prec)
+            bf = brute_force_min_order(start, trans, precedence=prec)
+            assert hk[0] == bf[0]
+
+    def test_cyclic_precedence_rejected(self):
+        trans = matrix(2, lambda i, j: 1)
+        with pytest.raises(SolverError):
+            held_karp_min_order(zeros(2), trans, precedence=[(0, 1), (1, 0)])
+
+    def test_size_guard(self):
+        n = 19
+        with pytest.raises(SolverError):
+            held_karp_min_order(zeros(n), matrix(n, lambda i, j: 1))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            held_karp_min_order(zeros(2), matrix(3, lambda i, j: 1))
+
+    def test_bad_precedence_pair(self):
+        with pytest.raises(ValueError):
+            held_karp_min_order(zeros(2), matrix(2, lambda i, j: 1), precedence=[(0, 0)])
+
+
+class TestHeuristicOrders:
+    def test_nearest_neighbor_valid_order(self):
+        trans = matrix(5, lambda i, j: abs(i - j))
+        cost, order = nearest_neighbor_order(zeros(5), trans)
+        assert sorted(order) == list(range(5))
+        assert cost == order_cost(order, zeros(5), trans)
+
+    def test_nearest_neighbor_respects_precedence(self):
+        trans = matrix(4, lambda i, j: 1)
+        _, order = nearest_neighbor_order(
+            zeros(4), trans, precedence=[(3, 0), (2, 0)]
+        )
+        assert order.index(0) > max(order.index(2), order.index(3))
+
+    def test_two_opt_never_worsens(self):
+        import random
+
+        rng = random.Random(3)
+        n = 7
+        start = [Fraction(rng.randrange(10)) for _ in range(n)]
+        trans = matrix(n, lambda i, j: rng.randrange(10))
+        nn_cost, nn_order = nearest_neighbor_order(start, trans)
+        opt_cost, opt_order = two_opt_improve(nn_order, start, trans)
+        assert opt_cost <= nn_cost
+        assert order_cost(opt_order, start, trans) == opt_cost
+
+    def test_two_opt_reaches_optimum_on_line_metric(self):
+        trans = matrix(6, lambda i, j: abs(i - j))
+        _, nn = nearest_neighbor_order(zeros(6), trans)
+        cost, _ = two_opt_improve(nn, zeros(6), trans)
+        hk_cost, _ = held_karp_min_order(zeros(6), trans)
+        assert cost == hk_cost
+
+    def test_two_opt_respects_precedence(self):
+        trans = matrix(5, lambda i, j: (i * 3 + j * 5) % 7)
+        prec = [(0, 4), (1, 4)]
+        _, nn = nearest_neighbor_order(zeros(5), trans, precedence=prec)
+        _, improved = two_opt_improve(nn, zeros(5), trans, precedence=prec)
+        pos = {g: k for k, g in enumerate(improved)}
+        assert pos[0] < pos[4] and pos[1] < pos[4]

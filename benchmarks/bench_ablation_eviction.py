@@ -9,59 +9,36 @@ DAGs under memory pressure.
 Expected shape: Belady <= {LRU, min-uses} <= random, with Belady's
 advantage widening on reuse-heavy DAGs (matmul).
 
+The grid (3 workloads x 4 policies, with per-workload memory pressure
+pinned via ``#rK`` dag entries) is the declarative ``eviction`` spec of
+:mod:`repro.experiments`; this script keeps the assertions.
+
 Run standalone:  python benchmarks/bench_ablation_eviction.py
 """
 
-from repro import PebblingInstance, PebblingSimulator
-from repro.analysis import render_table
-from repro.generators import butterfly_dag, grid_stencil_dag, matmul_dag
-from repro.heuristics import (
-    FurthestNextUse,
-    LeastRecentlyUsed,
-    MinRemainingUses,
-    RandomEviction,
-    fixed_order_schedule,
-)
+from repro.analysis import pivot_costs, render_table, results_table
+from repro.experiments import Runner, get_spec
 
-POLICIES = [
-    ("belady", FurthestNextUse),
-    ("lru", LeastRecentlyUsed),
-    ("min-uses", MinRemainingUses),
-    ("random", lambda: RandomEviction(seed=7)),
-]
+SPEC = get_spec("eviction")
 
-WORKLOADS = [
-    ("matmul(3), R=5", lambda: matmul_dag(3), 5),
-    ("fft(2^4), R=5", lambda: butterfly_dag(4), 5),
-    ("grid(5x5), R=3", lambda: grid_stencil_dag(5, 5), 3),
-]
+BELADY = "fixed-order:belady"
+OTHERS = ("fixed-order:lru", "fixed-order:min-uses", "fixed-order:random7")
 
 
 def reproduce():
-    rows = []
-    for name, factory, r in WORKLOADS:
-        dag = factory()
-        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=r)
-        row = {"workload": name}
-        for pname, policy in POLICIES:
-            sched = fixed_order_schedule(inst, eviction=policy())
-            row[pname] = str(
-                PebblingSimulator(inst).run(sched, require_complete=True).cost
-            )
-        rows.append(row)
-    return rows
+    return Runner(jobs=0).run(SPEC)
 
 
 def test_eviction_ablation_belady_wins(benchmark):
-    from fractions import Fraction
-
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    for row in rows:
-        belady = Fraction(row["belady"])
-        for other in ("lru", "min-uses", "random"):
-            assert belady <= Fraction(row[other]), (row["workload"], other)
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert all(r.ok for r in results)
+    grouped = pivot_costs(results)
+    assert len(grouped) == 3
+    for dag, costs in grouped.items():
+        for other in OTHERS:
+            assert costs[BELADY] <= costs[other], (dag, other)
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Eviction-policy ablation "
-                                          "(oneshot cost, lower is better)"))
+    print(render_table(results_table(reproduce()),
+                       title="Eviction-policy ablation (oneshot cost, lower is better)"))

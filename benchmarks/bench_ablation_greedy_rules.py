@@ -5,60 +5,45 @@ this ablation measures where they agree and how far any of them can drift
 from the optimum on small irregular DAGs (exact optimum via state-space
 search).
 
+The grid (4 workloads x {3 greedy rules, exact}) is the declarative
+``greedy-rules`` spec of :mod:`repro.experiments`; this script keeps the
+assertions.
+
 Run standalone:  python benchmarks/bench_ablation_greedy_rules.py
 """
 
-from repro import PebblingInstance
-from repro.analysis import render_table
-from repro.generators import (
-    grid_stencil_dag,
-    independent_tasks_dag,
-    layered_random_dag,
-    pyramid_dag,
-)
-from repro.heuristics import GreedyRule, greedy_pebble
-from repro.solvers import solve_optimal
+from fractions import Fraction
 
-WORKLOADS = [
-    ("tasks(3x2) R=3", lambda: independent_tasks_dag(3, 2), 3),
-    ("pyramid(3) R=3", lambda: pyramid_dag(3), 3),
-    ("grid(3x3) R=3", lambda: grid_stencil_dag(3, 3), 3),
-    ("layered R=3", lambda: layered_random_dag([3, 3, 2], indegree=2, seed=9), 3),
-]
+from repro.analysis import pivot_costs, render_table, results_table
+from repro.experiments import Runner, get_spec
+
+SPEC = get_spec("greedy-rules")
+
+RULES = ("greedy:most-red-inputs", "greedy:fewest-blue-inputs", "greedy:red-ratio")
 
 
 def reproduce():
-    rows = []
-    for name, factory, r in WORKLOADS:
-        dag = factory()
-        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=r)
-        opt = solve_optimal(inst, return_schedule=False).cost
-        row = {"workload": name, "optimal": str(opt)}
-        for rule in GreedyRule:
-            cost = greedy_pebble(inst, rule).cost
-            row[rule.value] = str(cost)
-        rows.append(row)
-    return rows
+    return Runner(jobs=0).run(SPEC)
 
 
 def test_greedy_rules_ablation(benchmark):
-    from fractions import Fraction
-
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    for row in rows:
-        opt = Fraction(row["optimal"])
-        for rule in GreedyRule:
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert all(r.ok for r in results)
+    grouped = pivot_costs(results)
+    assert len(grouped) == 4
+    for dag, costs in grouped.items():
+        opt = costs["exact"]
+        for rule in RULES:
             # greedy never beats the optimum; on these small instances it
             # stays within a small factor (the blow-up needs Theorem 4's
             # adversarial structure)
-            cost = Fraction(row[rule.value])
-            assert opt <= cost
-            assert cost <= 6 * opt + 6
+            assert opt <= costs[rule], (dag, rule)
+            assert costs[rule] <= 6 * opt + 6, (dag, rule)
     # uniform-indegree row: most-red and red-ratio agree exactly
-    uniform = rows[0]
-    assert uniform["most-red-inputs"] == uniform["red-ratio"]
+    uniform = grouped["tasks:3x2"]
+    assert uniform["greedy:most-red-inputs"] == uniform["greedy:red-ratio"]
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Greedy-rule ablation "
-                                          "(oneshot cost, optimal for scale)"))
+    print(render_table(results_table(reproduce()),
+                       title="Greedy-rule ablation (oneshot cost, exact for scale)"))

@@ -6,82 +6,85 @@ size d, chain of length n), the oneshot optimum falls linearly from
 pebble.  Measured via the optimal alternating strategy (validated by the
 simulator, confirmed optimal against exhaustive search on small
 instances in the test-suite), and compared against the paper's closed
-form 2(d-i)*n.
+form 2(d-i)*n, which the ``tradeoff-opt`` method reports in each
+record's ``extra["paper_formula"]``.
+
+The R sweep is the declarative ``fig4-tradeoff`` spec of
+:mod:`repro.experiments` (d=6, n=40, R in d+2..2d+2); this script keeps
+the curve-shape assertions and the ASCII diagram.
 
 Run standalone:  python benchmarks/bench_fig4_tradeoff.py
 """
 
 from fractions import Fraction
 
-from repro import PebblingInstance, PebblingSimulator
 from repro.analysis import TradeoffCurve, ascii_plot, render_table
-from repro.gadgets import opt_tradeoff_formula, optimal_tradeoff_schedule, tradeoff_dag
+from repro.experiments import Runner, get_spec
 
-D, N = 6, 40
+SPEC = get_spec("fig4-tradeoff")
 
-
-def measure_curve(model="oneshot", d=D, n=N):
-    td = tradeoff_dag(d, n)
-    points = []
-    for i in range(d + 1):
-        r = d + 2 + i
-        inst = PebblingInstance(dag=td.dag, model=model, red_limit=r)
-        sched = optimal_tradeoff_schedule(td, r, model)
-        cost = PebblingSimulator(inst).run(sched, require_complete=True).cost
-        points.append((r, cost))
-    return td, TradeoffCurve(points=tuple(points))
+D, N = 6, 40  # matches the spec's "tradeoff:6x40"
 
 
 def reproduce():
-    td, curve = measure_curve("oneshot")
-    rows = []
-    for r, cost in curve.points:
-        formula = opt_tradeoff_formula(td, r, "oneshot")
-        rows.append(
-            {
-                "R": r,
-                "measured": str(cost),
-                "paper 2(d-i)n": str(formula),
-                "abs diff": str(abs(cost - formula)),
-            }
-        )
-    return td, curve, rows
+    return Runner(jobs=0).run(SPEC)
+
+
+def curve_from(results) -> TradeoffCurve:
+    return TradeoffCurve(
+        points=tuple((r.red_limit, r.cost_fraction) for r in results)
+    )
+
+
+def rows_from(results):
+    return [
+        {
+            "R": r.red_limit,
+            "measured": r.cost,
+            "paper 2(d-i)n": r.extra["paper_formula"],
+            "abs diff": str(abs(r.cost_fraction - Fraction(r.extra["paper_formula"]))),
+        }
+        for r in results
+    ]
 
 
 def test_fig4_linear_tradeoff(benchmark):
-    td, curve, rows = benchmark(reproduce)
-    n = td.chain_length
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert all(r.ok for r in results)
+    curve = curve_from(results)
+    n_nodes = 2 * D + N  # two control groups + chain of the Figure 3 DAG
     # endpoint identities of Section 5
-    assert curve.cost_at(2 * td.d + 2) == 0
-    assert curve.cost_at(td.d + 2) >= 2 * (td.d - 1) * (n - 4)
+    assert curve.cost_at(2 * D + 2) == 0
+    assert curve.cost_at(D + 2) >= 2 * (D - 1) * (N - 4)
     # monotone, maximal drop law (2n per pebble), near-constant slope
     assert curve.is_monotone_decreasing()
-    assert curve.respects_max_drop_law(td.dag.n_nodes)
+    assert curve.respects_max_drop_law(n_nodes)
     drops = curve.drops()
-    assert all(2 * n - 10 <= d <= 2 * n for d in drops)
+    assert all(2 * N - 10 <= d <= 2 * N for d in drops)
     # measured matches the paper formula up to O(d) boundary terms
-    for row in rows:
-        assert int(row["abs diff"]) <= 5 * td.d + 5
+    for r in results:
+        assert abs(r.cost_fraction - Fraction(r.extra["paper_formula"])) <= 5 * D + 5
 
 
 def test_fig4_base_model_degenerates(benchmark):
     def run():
-        _, curve = measure_curve("base")
-        return curve
+        from dataclasses import replace
 
-    curve = benchmark(run)
+        return Runner(jobs=0).run(replace(SPEC, name="fig4-base", models=("base",)))
+
+    results = benchmark(run)
     # Section 4: base recomputes sources for free -> no tradeoff at all
-    assert all(c == 0 for c in curve.costs)
+    assert all(r.cost_fraction == 0 for r in results)
 
 
 if __name__ == "__main__":
-    td, curve, rows = reproduce()
-    print(render_table(rows, title=f"Figure 4: opt(R) on the Figure 3 DAG "
-                                   f"(d={D}, n={N})"))
+    results = reproduce()
+    print(render_table(rows_from(results),
+                       title=f"Figure 4: opt(R) on the Figure 3 DAG (d={D}, n={N})"))
     print()
     print(
         ascii_plot(
-            {"measured": [(r, float(c)) for r, c in curve.points]},
+            {"measured": [(r.red_limit, float(r.cost_fraction)) for r in results]},
             title="Figure 4 (measured)",
             x_label="R",
             y_label="cost",

@@ -6,69 +6,59 @@ the Belady fixed-order pebbler across cache sizes and check the measured
 traffic (an upper bound on the optimum) sits above the classic reference
 curves and falls with R in the predicted shape.
 
+The sweep is the declarative ``hong-kung`` spec of
+:mod:`repro.experiments` (matmul:4 and butterfly:4 across R in
+{4, 8, 16, 32}); this script keeps the reference-curve assertions.
+
 Run standalone:  python benchmarks/bench_hong_kung.py
 """
 
-from repro import PebblingInstance, PebblingSimulator
 from repro.analysis import render_table
-from repro.generators import butterfly_dag, matmul_dag
-from repro.heuristics import fixed_order_schedule
+from repro.experiments import Runner, get_spec
 from repro.solvers import fft_io_lower_bound, matmul_io_lower_bound
 
+SPEC = get_spec("hong-kung")
 
-def measure(dag, r_values):
-    out = []
-    for r in r_values:
-        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=r)
-        cost = PebblingSimulator(inst).run(
-            fixed_order_schedule(inst), require_complete=True
-        ).cost
-        out.append((r, cost))
-    return out
+N = 4  # matmul size, matches the spec's "matmul:4"
+K = 4  # log2 FFT size, matches the spec's "butterfly:4"
+
+
+def reference_bound(result) -> float:
+    if result.dag.startswith("matmul"):
+        return matmul_io_lower_bound(N, result.red_limit)
+    return fft_io_lower_bound(1 << K, result.red_limit)
 
 
 def reproduce():
-    rows = []
-    n = 4
-    mat = matmul_dag(n)
-    for r, q in measure(mat, [4, 8, 16, 32]):
-        rows.append(
-            {
-                "kernel": f"matmul({n})",
-                "R": r,
-                "measured Q": str(q),
-                "reference bound": f"{matmul_io_lower_bound(n, r):.1f}",
-            }
-        )
-    k = 4
-    fft = butterfly_dag(k)
-    for r, q in measure(fft, [4, 8, 16]):
-        rows.append(
-            {
-                "kernel": f"fft(2^{k})",
-                "R": r,
-                "measured Q": str(q),
-                "reference bound": f"{fft_io_lower_bound(1 << k, r):.1f}",
-            }
-        )
-    return rows
+    return Runner(jobs=0).run(SPEC)
+
+
+def rows_from(results):
+    return [
+        {
+            "kernel": r.dag,
+            "R": r.red_limit,
+            "measured Q": r.cost,
+            "reference bound": f"{reference_bound(r):.1f}",
+        }
+        for r in results
+    ]
 
 
 def test_hong_kung_shapes(benchmark):
-    from fractions import Fraction
-
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    for kernel in ("matmul(4)", "fft(2^4)"):
-        series = [r for r in rows if r["kernel"] == kernel]
-        qs = [Fraction(r["measured Q"]) for r in series]
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert all(r.ok for r in results)
+    for dag in ("matmul:4", "butterfly:4"):
+        series = [r for r in results if r.dag == dag]
+        qs = [r.cost_fraction for r in series]
         # traffic falls monotonically with cache size
         assert qs == sorted(qs, reverse=True)
         # and stays above the reference curve (minus the additive R slack
         # the matmul bound carries)
         for r in series:
-            assert float(Fraction(r["measured Q"])) >= float(r["reference bound"]) - r["R"]
+            assert float(r.cost_fraction) >= reference_bound(r) - r.red_limit
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Hong-Kung reference curves vs "
-                                          "measured traffic"))
+    print(render_table(rows_from(reproduce()),
+                       title="Hong-Kung reference curves vs measured traffic"))

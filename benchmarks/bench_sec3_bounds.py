@@ -7,13 +7,19 @@ Measures the three elementary laws every later result leans on:
   model, on every DAG;
 * opt(R-1) <= opt(R) + 2n: an extra red pebble saves at most 2n.
 
+The main grid (4 DAGs x 4 models, naive strategy vs the bound) is the
+declarative ``sec3-bounds`` spec of :mod:`repro.experiments`; this script
+only keeps the assertions plus two bespoke probes (the frontier and the
+max-drop law) that are point checks, not grids.
+
 Run standalone:  python benchmarks/bench_sec3_bounds.py
 """
 
-import pytest
+from fractions import Fraction
 
 from repro import InfeasibleInstanceError, PebblingInstance, PebblingSimulator
-from repro.analysis import render_table
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec
 from repro.generators import (
     binary_tree_dag,
     butterfly_dag,
@@ -21,53 +27,32 @@ from repro.generators import (
     pyramid_dag,
 )
 from repro.heuristics import topological_schedule
-from repro.solvers import solve_optimal, upper_bound_naive
+from repro.solvers import solve_optimal
 
-DAGS = [
-    ("pyramid(4)", pyramid_dag(4)),
-    ("grid(4x4)", grid_stencil_dag(4, 4)),
-    ("butterfly(3)", butterfly_dag(3)),
-    ("tree(8)", binary_tree_dag(8)),
-]
+SPEC = get_spec("sec3-bounds")
 
 
 def reproduce():
-    rows = []
-    for name, dag in DAGS:
-        for model in ("base", "oneshot", "nodel", "compcost"):
-            inst = PebblingInstance(
-                dag=dag, model=model, red_limit=dag.min_red_pebbles
-            )
-            cost = PebblingSimulator(inst).run(
-                topological_schedule(inst), require_complete=True
-            ).cost
-            bound = upper_bound_naive(dag, model)
-            rows.append(
-                {
-                    "dag": name,
-                    "model": model,
-                    "naive cost": str(cost),
-                    "(2D+1)n bound": str(bound),
-                    "within": cost <= bound,
-                }
-            )
-    return rows
+    return Runner(jobs=0).run(SPEC)
 
 
 def test_sec3_naive_bound_universal(benchmark):
-    rows = benchmark(reproduce)
-    assert all(r["within"] for r in rows)
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
+    for r in results:
+        assert r.ok, (r.dag, r.model, r.error)
+        assert r.cost_fraction <= Fraction(r.extra["naive_bound"])
 
 
 def test_sec3_feasibility_frontier(benchmark):
+    dags = [pyramid_dag(4), grid_stencil_dag(4, 4), butterfly_dag(3), binary_tree_dag(8)]
+
     def run():
         results = []
-        for name, dag in DAGS:
+        for dag in dags:
             # R = Delta is infeasible, R = Delta + 1 pebbles fine
             try:
-                PebblingInstance(
-                    dag=dag, model="oneshot", red_limit=dag.max_indegree
-                )
+                PebblingInstance(dag=dag, model="oneshot", red_limit=dag.max_indegree)
                 feasible_below = True
             except InfeasibleInstanceError:
                 feasible_below = False
@@ -105,5 +90,5 @@ def test_sec3_max_drop_2n(benchmark):
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Section 3: (2*Delta+1)*n bound, "
-                                          "all models x DAGs"))
+    print(render_table(results_table(reproduce()),
+                       title="Section 3: naive cost (baseline column), all models x DAGs"))

@@ -2,12 +2,22 @@
 
 from .ascii_plots import ascii_plot, render_table
 from .board import render_timeline
+from .experiments import (
+    compare_results,
+    pivot_costs,
+    results_table,
+    summarize_results,
+)
 from .stats import ScheduleStats, schedule_stats
 from .ratio import RatioPoint, greedy_grid_ratio_sweep, greedy_vs_optimal
 from .tables import table1_rows, table2_rows
 from .tradeoff import TradeoffCurve, tradeoff_curve
 
 __all__ = [
+    "pivot_costs",
+    "results_table",
+    "compare_results",
+    "summarize_results",
     "TradeoffCurve",
     "tradeoff_curve",
     "table1_rows",

@@ -10,9 +10,18 @@ tradeoff   opt(R) curve of the Figure 3 construction
 hampath    Theorem 2 reduction: decide Hamiltonian path via pebbling
 table1     print Table 1 (operation costs per model)
 table2     print Table 2 (model properties)
+bench      experiment runner: list/run/compare declarative specs
 
 Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
-``grid:RxC``, ``butterfly:K``, ``matmul:N``, or ``@file.json``.
+``grid:RxC``, ``butterfly:K``, ``matmul:N``, ``tasks:WxC``,
+``layered:L1-...-Lk[:dD][:sS]``, ``tradeoff:DxN``, or ``@file.json``
+(see :mod:`repro.generators.specs`).
+
+The ``bench`` subcommand drives :mod:`repro.experiments`::
+
+    repro-pebble bench list
+    repro-pebble bench run sec3-bounds --jobs 4 --out results.json
+    repro-pebble bench compare before.json after.json
 """
 
 from __future__ import annotations
@@ -26,41 +35,19 @@ from .analysis.tables import table1_rows, table2_rows
 from .core.dag import ComputationDAG
 from .core.instance import PebblingInstance
 from .core.simulator import PebblingSimulator
-from .generators import (
-    binary_tree_dag,
-    butterfly_dag,
-    chain_dag,
-    grid_stencil_dag,
-    matmul_dag,
-    pyramid_dag,
-    random_graph,
-)
+from .generators import random_graph
 from .heuristics import greedy_pebble, topological_schedule
 
 __all__ = ["main"]
 
 
 def _load_dag(spec: str) -> ComputationDAG:
-    if spec.startswith("@"):
-        from .io.serialization import dag_from_json
+    from .generators import dag_from_spec
 
-        with open(spec[1:], "r", encoding="utf-8") as fh:
-            return dag_from_json(fh.read())
-    kind, _, arg = spec.partition(":")
-    if kind == "pyramid":
-        return pyramid_dag(int(arg))
-    if kind == "chain":
-        return chain_dag(int(arg))
-    if kind == "tree":
-        return binary_tree_dag(int(arg))
-    if kind == "grid":
-        r, _, c = arg.partition("x")
-        return grid_stencil_dag(int(r), int(c))
-    if kind == "butterfly":
-        return butterfly_dag(int(arg))
-    if kind == "matmul":
-        return matmul_dag(int(arg))
-    raise SystemExit(f"unknown DAG spec {spec!r}")
+    try:
+        return dag_from_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _instance(args) -> PebblingInstance:
@@ -177,6 +164,118 @@ def cmd_table2(args) -> int:
     return 0
 
 
+def cmd_bench_list(args) -> int:
+    from .experiments import all_specs
+
+    specs = all_specs(tag=args.tag)
+    if not specs:
+        print("no experiment specs registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+        return 1
+    rows = [
+        {
+            "spec": s.name,
+            "tasks": s.n_tasks,
+            "tags": ",".join(s.tags),
+            "description": s.description,
+        }
+        for s in specs
+    ]
+    print(render_table(rows, title="experiment specs"))
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    from .analysis.experiments import results_table, summarize_results
+    from .experiments import Runner, get_spec
+    from .io import run_results_to_csv, run_results_to_json
+
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0 (0 = inline)")
+    try:
+        specs = [get_spec(name) for name in args.spec]
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+
+    runner = Runner(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        refresh=args.refresh,
+    )
+
+    def progress(result):
+        if args.quiet:
+            return
+        note = "cache" if result.cached else f"{result.wall_time:.2f}s"
+        cell = result.cost if result.ok else result.status.value
+        print(
+            f"  [{result.spec}] {result.dag} {result.model} {result.method} "
+            f"R={result.red_limit} -> {cell} ({note})"
+        )
+
+    all_results = []
+    for spec in specs:
+        if not args.quiet:
+            print(f"running {spec.describe()}")
+        all_results.extend(runner.run(spec, on_result=progress))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(run_results_to_json(all_results))
+        print(f"wrote {len(all_results)} results to {args.out}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(run_results_to_csv(all_results))
+        print(f"wrote {len(all_results)} results to {args.csv}")
+
+    for spec in specs:
+        rows = results_table([r for r in all_results if r.spec == spec.name])
+        print(render_table(rows, title=f"{spec.name}: cost by method"))
+    summary = summarize_results(all_results)
+    print(
+        f"{summary['tasks']} tasks: {summary['ok']} ok, "
+        f"{summary['timeout']} timeout, {summary['error']} error, "
+        f"{summary['infeasible']} infeasible, {summary['cached']} cached "
+        f"({summary['wall_time']}s task time)"
+    )
+    failed = summary["timeout"] + summary["error"]
+    return 1 if failed else 0
+
+
+def _load_results(path: str):
+    from .io import run_results_from_csv, run_results_from_json
+
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        if path.endswith(".csv"):
+            return run_results_from_csv(text)
+        return run_results_from_json(text)
+    except KeyError as exc:  # records missing required fields
+        raise ValueError(f"malformed result record (missing {exc.args[0]!r})") from None
+
+
+def cmd_bench_compare(args) -> int:
+    from .analysis.experiments import compare_results, results_table
+
+    try:
+        baseline = _load_results(args.baseline)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {args.baseline}: {exc}")
+    if args.candidate is None:
+        print(render_table(results_table(baseline), title=args.baseline))
+        return 0
+    try:
+        candidate = _load_results(args.candidate)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {args.candidate}: {exc}")
+    rows = compare_results(
+        baseline, candidate, labels=(args.baseline, args.candidate)
+    )
+    print(render_table(rows, title="cost comparison (ratio = candidate/baseline)"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pebble",
@@ -228,6 +327,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="print Table 2")
     p.set_defaults(fn=cmd_table2)
+
+    bench = sub.add_parser("bench", help="experiment runner (repro.experiments)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    p = bench_sub.add_parser("list", help="list registered experiment specs")
+    p.add_argument("--tag", default=None, help="only specs carrying this tag")
+    p.set_defaults(fn=cmd_bench_list)
+
+    p = bench_sub.add_parser("run", help="run one or more specs")
+    p.add_argument("spec", nargs="+", help="spec name(s); see `bench list`")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = inline, no timeouts)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-task seconds (overrides the spec's own)")
+    p.add_argument("--out", default=None, help="write results JSON here")
+    p.add_argument("--csv", default=None, help="write results CSV here")
+    p.add_argument("--cache-dir", default="results/cache",
+                   help="result cache directory (default: results/cache)")
+    p.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    p.add_argument("--refresh", action="store_true",
+                   help="recompute cached cells (and rewrite them)")
+    p.add_argument("--quiet", action="store_true", help="no per-task progress lines")
+    p.set_defaults(fn=cmd_bench_run)
+
+    p = bench_sub.add_parser("compare", help="render or compare result artifacts")
+    p.add_argument("baseline", help="results JSON/CSV artifact")
+    p.add_argument("candidate", nargs="?", default=None,
+                   help="second artifact to compare against (optional)")
+    p.set_defaults(fn=cmd_bench_compare)
 
     return parser
 

@@ -1,0 +1,49 @@
+"""Declarative, parallel experiment running.
+
+The subsystem has four layers:
+
+* :mod:`~repro.experiments.spec` — :class:`ExperimentSpec`, a declarative
+  grid (DAGs x models x methods x red limits) that expands to
+  :class:`TaskSpec` cells;
+* :mod:`~repro.experiments.methods` — the named strategies a cell can
+  run (greedy rules, eviction policies, beam search, the exact solver,
+  the paper's optimal tradeoff strategy, ...);
+* :mod:`~repro.experiments.runner` — :class:`Runner`, which fans cells
+  out over multiprocessing workers with per-task timeouts and a
+  content-hash result cache;
+* :mod:`~repro.experiments.results` — :class:`RunResult` records,
+  serialized to JSON/CSV by :mod:`repro.io` and rendered into tables by
+  :mod:`repro.analysis`.
+
+Quickstart::
+
+    from repro.experiments import Runner, get_spec
+    results = Runner(jobs=4).run(get_spec("sec3-bounds"))
+
+or from the shell::
+
+    repro-pebble bench run sec3-bounds --jobs 4 --out results.json
+"""
+
+from .methods import MethodOutcome, method_names, resolve_method
+from .registry import BUILTIN_SPECS, all_specs, get_spec, register_spec
+from .results import RunResult, RunStatus
+from .runner import Runner, execute_task
+from .spec import ExperimentSpec, TaskSpec, resolve_red_limit
+
+__all__ = [
+    "ExperimentSpec",
+    "TaskSpec",
+    "resolve_red_limit",
+    "RunResult",
+    "RunStatus",
+    "Runner",
+    "execute_task",
+    "MethodOutcome",
+    "resolve_method",
+    "method_names",
+    "register_spec",
+    "get_spec",
+    "all_specs",
+    "BUILTIN_SPECS",
+]

@@ -1,0 +1,217 @@
+"""The method axis of an experiment grid.
+
+A *method* maps a :class:`~repro.core.instance.PebblingInstance` (plus
+its :class:`~repro.experiments.spec.TaskSpec`, for parametrised methods)
+to a :class:`MethodOutcome`.  Methods are addressed by string name so an
+:class:`~repro.experiments.ExperimentSpec` stays fully declarative:
+
+=======================  ====================================================
+name                     behaviour
+=======================  ====================================================
+``baseline``             naive topological strategy; reports the
+                         ``(2*Delta+1)*n`` bound in ``extra``
+``greedy:RULE``          Section 8 greedy (``most-red-inputs`` /
+                         ``fewest-blue-inputs`` / ``red-ratio``);
+                         ``greedy`` alone uses the default rule
+``fixed-order:POLICY``   Belady-style pebbler over the topological order
+                         with eviction ``belady`` / ``lru`` / ``min-uses``
+                         / ``random[SEED]``
+``beam:WIDTH``           beam search over computation orders
+``local-search[:EVALS]`` greedy order + hill climbing
+``exact``                optimal cost by state-space search
+``tradeoff-opt``         the provably optimal Figure 3/4 alternating
+                         strategy (requires a ``tradeoff:DxN`` DAG spec)
+``sleep:SECONDS``        test/diagnostic hook: sleeps, then reports cost 0
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Optional
+
+from ..core.instance import PebblingInstance
+from ..core.simulator import PebblingSimulator
+from .spec import TaskSpec
+
+__all__ = ["MethodOutcome", "resolve_method", "method_names"]
+
+
+@dataclass(frozen=True)
+class MethodOutcome:
+    """What a method reports back: exact cost, schedule length, extras."""
+
+    cost: Fraction
+    n_moves: Optional[int] = None
+    extra: Dict[str, str] = field(default_factory=dict)
+
+
+MethodFn = Callable[[PebblingInstance, TaskSpec], MethodOutcome]
+
+
+def _run_baseline(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..heuristics import topological_schedule
+    from ..solvers.bounds import upper_bound_naive
+
+    sched = topological_schedule(inst)
+    res = PebblingSimulator(inst).run(sched, require_complete=True)
+    bound = upper_bound_naive(inst.dag, inst.model)
+    return MethodOutcome(
+        cost=res.cost, n_moves=len(sched), extra={"naive_bound": str(bound)}
+    )
+
+
+def _run_greedy(rule: Optional[str]) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..heuristics import greedy_pebble
+
+        result = greedy_pebble(inst, rule) if rule else greedy_pebble(inst)
+        return MethodOutcome(
+            cost=result.cost,
+            n_moves=len(result.schedule),
+            extra={"rule": result.rule.value},
+        )
+
+    return run
+
+
+_EVICTION = {
+    "belady": "FurthestNextUse",
+    "lru": "LeastRecentlyUsed",
+    "min-uses": "MinRemainingUses",
+}
+
+
+def _run_fixed_order(policy: str) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from .. import heuristics
+
+        if policy.startswith("random"):
+            seed = int(policy[len("random"):] or 0)
+            eviction = heuristics.RandomEviction(seed=seed)
+        elif policy in _EVICTION:
+            eviction = getattr(heuristics, _EVICTION[policy])()
+        else:
+            raise ValueError(f"unknown eviction policy {policy!r}")
+        sched = heuristics.fixed_order_schedule(inst, eviction=eviction)
+        res = PebblingSimulator(inst).run(sched, require_complete=True)
+        return MethodOutcome(cost=res.cost, n_moves=len(sched), extra={"eviction": policy})
+
+    return run
+
+
+def _run_beam(width: int) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..heuristics import beam_search_pebble
+
+        result = beam_search_pebble(inst, beam_width=width)
+        return MethodOutcome(
+            cost=result.cost,
+            n_moves=len(result.schedule),
+            extra={"beam_width": str(width), "expanded": str(result.expanded)},
+        )
+
+    return run
+
+
+def _run_local_search(max_evaluations: int) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..heuristics import greedy_pebble, improve_order
+
+        start = greedy_pebble(inst)
+        result = improve_order(
+            inst, order=start.order, max_evaluations=max_evaluations, seed=1
+        )
+        return MethodOutcome(
+            cost=result.cost,
+            n_moves=len(result.schedule),
+            extra={
+                "initial_cost": str(result.initial_cost),
+                "evaluations": str(result.evaluations),
+                "improvements": str(result.improvements),
+            },
+        )
+
+    return run
+
+
+def _run_exact(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..solvers.exact import solve_optimal
+
+    result = solve_optimal(inst, return_schedule=True)
+    return MethodOutcome(
+        cost=result.cost,
+        n_moves=result.length,
+        extra={"expanded": str(result.expanded)},
+    )
+
+
+def _run_tradeoff_opt(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..gadgets.tradeoff import (
+        opt_tradeoff_formula,
+        optimal_tradeoff_schedule,
+        tradeoff_dag,
+    )
+
+    kind, _, arg = task.dag.partition(":")
+    if kind != "tradeoff":
+        raise ValueError(
+            f"method 'tradeoff-opt' needs a tradeoff:DxN DAG spec, got {task.dag!r}"
+        )
+    d, _, n = arg.partition("x")
+    td = tradeoff_dag(int(d), int(n))
+    sched = optimal_tradeoff_schedule(td, inst.red_limit, inst.model)
+    res = PebblingSimulator(inst).run(sched, require_complete=True)
+    formula = opt_tradeoff_formula(td, inst.red_limit, inst.model)
+    return MethodOutcome(
+        cost=res.cost, n_moves=len(sched), extra={"paper_formula": str(formula)}
+    )
+
+
+def _run_sleep(seconds: float) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        time.sleep(seconds)
+        return MethodOutcome(cost=Fraction(0), n_moves=0)
+
+    return run
+
+
+_FIXED: Dict[str, MethodFn] = {
+    "baseline": _run_baseline,
+    "greedy": _run_greedy(None),
+    "exact": _run_exact,
+    "tradeoff-opt": _run_tradeoff_opt,
+    "local-search": _run_local_search(2000),
+}
+
+_GREEDY_RULES = ("most-red-inputs", "fewest-blue-inputs", "red-ratio")
+
+
+def resolve_method(name: str) -> MethodFn:
+    """Look up a method by name (see module docstring for the catalogue)."""
+    if name in _FIXED:
+        return _FIXED[name]
+    head, sep, arg = name.partition(":")
+    if sep:
+        if head == "greedy" and arg in _GREEDY_RULES:
+            return _run_greedy(arg)
+        if head == "fixed-order":
+            return _run_fixed_order(arg)
+        if head == "beam":
+            return _run_beam(int(arg))
+        if head == "local-search":
+            return _run_local_search(int(arg))
+        if head == "sleep":
+            return _run_sleep(float(arg))
+    raise ValueError(
+        f"unknown method {name!r}; known: {', '.join(method_names())}"
+    )
+
+
+def method_names() -> "list[str]":
+    """Representative method names (parametrised families shown generically)."""
+    return sorted(_FIXED) + [
+        "greedy:" + r for r in _GREEDY_RULES
+    ] + ["fixed-order:belady|lru|min-uses|randomN", "beam:WIDTH", "local-search:EVALS", "sleep:SECONDS"]

@@ -1,0 +1,127 @@
+"""Named experiment specs: the registry behind ``repro-pebble bench``.
+
+The built-in specs are the declarative ports of the ``benchmarks/``
+scripts — each former hand-written loop is now one
+:class:`~repro.experiments.ExperimentSpec` here, and the script keeps
+only its assertions.  Downstream code registers its own specs with
+:func:`register_spec`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .spec import ExperimentSpec
+
+__all__ = ["register_spec", "get_spec", "all_specs", "BUILTIN_SPECS"]
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_spec(spec: ExperimentSpec, *, replace: bool = False) -> ExperimentSpec:
+    """Add a spec to the registry (name collisions raise unless ``replace``)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"experiment spec {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"unknown experiment spec {name!r}; known: {known}") from None
+
+
+def all_specs(tag: Optional[str] = None) -> List[ExperimentSpec]:
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    if tag is not None:
+        specs = [s for s in specs if tag in s.tags]
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Built-in specs: declarative ports of the benchmarks/ scripts.
+# ---------------------------------------------------------------------------
+
+BUILTIN_SPECS = (
+    ExperimentSpec(
+        name="smoke",
+        description="Tiny end-to-end grid for CI smoke runs (seconds, not minutes)",
+        dags=("pyramid:3", "chain:6"),
+        models=("oneshot", "base"),
+        methods=("baseline", "greedy"),
+        red_limits=("min",),
+        tags=("ci", "fast"),
+    ),
+    ExperimentSpec(
+        name="sec3-bounds",
+        description="Section 3: naive topological cost vs the (2*Delta+1)*n bound, all models",
+        dags=("pyramid:4", "grid:4x4", "butterfly:3", "tree:8"),
+        models=("base", "oneshot", "nodel", "compcost"),
+        methods=("baseline",),
+        red_limits=("min",),
+        tags=("paper", "bounds"),
+    ),
+    ExperimentSpec(
+        name="hong-kung",
+        description="Hong-Kung context: matmul/FFT I/O traffic across cache sizes",
+        dags=("matmul:4", "butterfly:4"),
+        models=("oneshot",),
+        methods=("fixed-order:belady",),
+        red_limits=(4, 8, 16, 32),
+        tags=("paper", "kernels"),
+    ),
+    ExperimentSpec(
+        name="greedy-rules",
+        description="Ablation: the three Section 8 greedy rules vs the exact optimum",
+        dags=(
+            "tasks:3x2#r3",
+            "pyramid:3#r3",
+            "grid:3x3#r3",
+            "layered:3-3-2:d2:s9#r3",
+        ),
+        models=("oneshot",),
+        methods=(
+            "greedy:most-red-inputs",
+            "greedy:fewest-blue-inputs",
+            "greedy:red-ratio",
+            "exact",
+        ),
+        tags=("paper", "ablation"),
+    ),
+    ExperimentSpec(
+        name="eviction",
+        description="Ablation: Belady vs LRU / min-uses / random eviction under memory pressure",
+        dags=("matmul:3#r5", "butterfly:4#r5", "grid:5x5#r3"),
+        models=("oneshot",),
+        methods=(
+            "fixed-order:belady",
+            "fixed-order:lru",
+            "fixed-order:min-uses",
+            "fixed-order:random7",
+        ),
+        tags=("ablation",),
+    ),
+    ExperimentSpec(
+        name="fig4-tradeoff",
+        description="Figures 3-4: the linear time-memory tradeoff of the chain gadget (d=6, n=40)",
+        dags=("tradeoff:6x40",),
+        models=("oneshot",),
+        methods=("tradeoff-opt",),
+        red_limits=(8, 9, 10, 11, 12, 13, 14),
+        tags=("paper", "tradeoff"),
+    ),
+    ExperimentSpec(
+        name="beam-ablation",
+        description="Ablation: beam width vs optimality on classic kernels",
+        dags=("pyramid:3#r3", "grid:4x4#r3"),
+        models=("oneshot",),
+        methods=("greedy", "beam:1", "beam:4", "beam:16", "exact"),
+        tags=("ablation",),
+    ),
+)
+
+for _spec in BUILTIN_SPECS:
+    register_spec(_spec)

@@ -1,0 +1,94 @@
+"""Textual DAG specs: one-line strings naming a generator and its size.
+
+The grammar is shared by the CLI (``--dag``) and the experiment runner
+(:mod:`repro.experiments`), so a workload named in an
+:class:`~repro.experiments.ExperimentSpec` is exactly reproducible from
+its string form alone — which is also what the runner's result cache
+hashes.
+
+Supported specs
+---------------
+``pyramid:H``            pyramid of height H
+``chain:N``              path of N nodes
+``tree:LEAVES``          binary reduction tree
+``grid:RxC``             wavefront stencil grid
+``butterfly:K``          FFT butterfly on 2^K inputs
+``matmul:N``             naive N x N matrix multiplication
+``tasks:WxC``            W independent chains of C nodes
+``layered:L1-...-Lk``    layered random DAG; optional ``:dD`` (indegree)
+                         and ``:sS`` (seed) suffixes, e.g.
+                         ``layered:3-3-2:d2:s9``
+``tradeoff:DxN``         Figure 3 tradeoff gadget (groups of size D,
+                         chain of length N)
+``@path.json``           DAG loaded from a JSON file
+"""
+
+from __future__ import annotations
+
+from ..core.dag import ComputationDAG
+from .classic import (
+    binary_tree_dag,
+    butterfly_dag,
+    chain_dag,
+    grid_stencil_dag,
+    independent_tasks_dag,
+    matmul_dag,
+    pyramid_dag,
+)
+from .random_dags import layered_random_dag
+
+__all__ = ["dag_from_spec"]
+
+
+def _pair(arg: str, spec: str) -> "tuple[int, int]":
+    a, sep, b = arg.partition("x")
+    if not sep:
+        raise ValueError(f"spec {spec!r} needs an AxB argument")
+    return int(a), int(b)
+
+
+def dag_from_spec(spec: str) -> ComputationDAG:
+    """Build the DAG named by ``spec`` (see module docstring for grammar)."""
+    if spec.startswith("@"):
+        from ..io.serialization import dag_from_json
+
+        with open(spec[1:], "r", encoding="utf-8") as fh:
+            return dag_from_json(fh.read())
+    kind, _, arg = spec.partition(":")
+    try:
+        if kind == "pyramid":
+            return pyramid_dag(int(arg))
+        if kind == "chain":
+            return chain_dag(int(arg))
+        if kind == "tree":
+            return binary_tree_dag(int(arg))
+        if kind == "grid":
+            r, c = _pair(arg, spec)
+            return grid_stencil_dag(r, c)
+        if kind == "butterfly":
+            return butterfly_dag(int(arg))
+        if kind == "matmul":
+            return matmul_dag(int(arg))
+        if kind == "tasks":
+            w, c = _pair(arg, spec)
+            return independent_tasks_dag(w, c)
+        if kind == "layered":
+            parts = arg.split(":")
+            sizes = [int(s) for s in parts[0].split("-")]
+            indegree, seed = 2, 0
+            for opt in parts[1:]:
+                if opt.startswith("d"):
+                    indegree = int(opt[1:])
+                elif opt.startswith("s"):
+                    seed = int(opt[1:])
+                else:
+                    raise ValueError(f"unknown layered option {opt!r} in {spec!r}")
+            return layered_random_dag(sizes, indegree=indegree, seed=seed)
+        if kind == "tradeoff":
+            from ..gadgets.tradeoff import tradeoff_dag
+
+            d, n = _pair(arg, spec)
+            return tradeoff_dag(d, n).dag
+    except ValueError as exc:
+        raise ValueError(f"bad DAG spec {spec!r}: {exc}") from None
+    raise ValueError(f"unknown DAG spec {spec!r}")

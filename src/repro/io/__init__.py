@@ -1,4 +1,4 @@
-"""Serialization: JSON round-trips and Graphviz DOT export."""
+"""Serialization: JSON/CSV round-trips and Graphviz DOT export."""
 
 from .dot import to_dot
 from .serialization import (
@@ -6,6 +6,10 @@ from .serialization import (
     dag_to_json,
     instance_from_json,
     instance_to_json,
+    run_results_from_csv,
+    run_results_from_json,
+    run_results_to_csv,
+    run_results_to_json,
     schedule_from_json,
     schedule_to_json,
 )
@@ -17,5 +21,9 @@ __all__ = [
     "schedule_from_json",
     "instance_to_json",
     "instance_from_json",
+    "run_results_to_json",
+    "run_results_from_json",
+    "run_results_to_csv",
+    "run_results_from_csv",
     "to_dot",
 ]

@@ -1,22 +1,33 @@
-"""JSON serialization for DAGs, instances and schedules.
+"""JSON/CSV serialization for DAGs, instances, schedules and run results.
 
 Construction node labels are nested tuples of strings/ints (chosen for
 human-readable schedules); JSON has no tuple type, so tuples are encoded
 as ``{"t": [...]}`` wrappers.  Dicts are not supported as node labels (no
 construction uses them).
+
+Experiment artifacts (:class:`~repro.experiments.RunResult` sets) are
+written as a versioned JSON envelope ``{"format": ..., "results": [...]}``
+or as flat CSV (the ``extra`` mapping goes into one JSON-encoded column);
+both round-trip exactly, costs included, because costs travel as
+``Fraction`` strings.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from fractions import Fraction
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable, List
 
 from ..core.dag import ComputationDAG, Node
 from ..core.instance import PebblingInstance
 from ..core.models import Model
 from ..core.moves import move_from_tuple
 from ..core.schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.results import RunResult
 
 __all__ = [
     "dag_to_json",
@@ -25,7 +36,14 @@ __all__ = [
     "schedule_from_json",
     "instance_to_json",
     "instance_from_json",
+    "run_results_to_json",
+    "run_results_from_json",
+    "run_results_to_csv",
+    "run_results_from_csv",
 ]
+
+#: envelope identifier for RunResult artifacts
+RESULTS_FORMAT = "repro-pebble/results/v1"
 
 
 def _encode_node(v: Node) -> Any:
@@ -98,3 +116,89 @@ def instance_from_json(text: str) -> PebblingInstance:
         cost_budget=Fraction(budget) if budget is not None else None,
         epsilon=Fraction(payload.get("epsilon", "1/100")),
     )
+
+
+# ---------------------------------------------------------------------------
+# Experiment artifacts
+# ---------------------------------------------------------------------------
+
+_CSV_COLUMNS = [
+    "spec",
+    "dag",
+    "model",
+    "method",
+    "red_limit",
+    "cost",
+    "n_moves",
+    "status",
+    "wall_time",
+    "cached",
+    "task_hash",
+    "error",
+    "extra",
+]
+
+
+def run_results_to_json(
+    results: Iterable["RunResult"], *, indent: "int | None" = 2
+) -> str:
+    """Serialize a RunResult set as a versioned JSON artifact."""
+    payload = {
+        "format": RESULTS_FORMAT,
+        "results": [r.to_dict() for r in results],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def run_results_from_json(text: str) -> List["RunResult"]:
+    from ..experiments.results import RunResult
+
+    payload = json.loads(text)
+    if isinstance(payload, list):  # tolerate a bare list of records
+        records = payload
+    else:
+        fmt = payload.get("format")
+        if fmt != RESULTS_FORMAT:
+            raise ValueError(
+                f"not a run-results artifact (format {fmt!r}, expected {RESULTS_FORMAT!r})"
+            )
+        records = payload["results"]
+    return [RunResult.from_dict(r) for r in records]
+
+
+def run_results_to_csv(results: Iterable["RunResult"]) -> str:
+    """Serialize a RunResult set as CSV (``extra`` as one JSON column)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_CSV_COLUMNS, lineterminator="\n")
+    writer.writeheader()
+    for r in results:
+        row = r.to_dict()
+        row["extra"] = json.dumps(row["extra"], sort_keys=True)
+        writer.writerow({k: ("" if row[k] is None else row[k]) for k in _CSV_COLUMNS})
+    return buf.getvalue()
+
+
+def run_results_from_csv(text: str) -> List["RunResult"]:
+    from ..experiments.results import RunResult
+
+    reader = csv.DictReader(io.StringIO(text))
+    out: List[RunResult] = []
+    for row in reader:
+        out.append(
+            RunResult(
+                spec=row["spec"],
+                dag=row["dag"],
+                model=row["model"],
+                method=row["method"],
+                red_limit=int(row["red_limit"]) if row["red_limit"] else None,
+                cost=row["cost"] or None,
+                n_moves=int(row["n_moves"]) if row["n_moves"] else None,
+                status=row["status"],
+                wall_time=float(row["wall_time"] or 0.0),
+                cached=row["cached"] == "True",
+                task_hash=row["task_hash"],
+                error=row["error"] or None,
+                extra=json.loads(row["extra"] or "{}"),
+            )
+        )
+    return out

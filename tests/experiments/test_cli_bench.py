@@ -1,0 +1,101 @@
+"""End-to-end tests for the `repro-pebble bench` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import run_results_from_csv, run_results_from_json
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestBenchList:
+    def test_lists_builtins(self, capsys):
+        code, out = run(capsys, "bench", "list")
+        assert code == 0
+        assert "smoke" in out and "sec3-bounds" in out
+
+    def test_tag_filter(self, capsys):
+        code, out = run(capsys, "bench", "list", "--tag", "ci")
+        assert code == 0
+        assert "smoke" in out and "hong-kung" not in out
+
+    def test_unknown_tag_fails(self, capsys):
+        code, out = run(capsys, "bench", "list", "--tag", "no-such-tag")
+        assert code == 1
+
+
+class TestBenchRun:
+    def test_writes_json_and_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "r.json"
+        out_csv = tmp_path / "r.csv"
+        code, out = run(
+            capsys, "bench", "run", "smoke",
+            "--jobs", "0", "--no-cache", "--quiet",
+            "--out", str(out_json), "--csv", str(out_csv),
+        )
+        assert code == 0
+        results = run_results_from_json(out_json.read_text())
+        assert len(results) == 8 and all(r.ok for r in results)
+        assert run_results_from_csv(out_csv.read_text()) == results
+        assert "smoke: cost by method" in out
+        assert "8 ok" in out
+
+    def test_parallel_with_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        code, _ = run(
+            capsys, "bench", "run", "smoke", "--jobs", "2",
+            "--cache-dir", str(cache), "--quiet",
+        )
+        assert code == 0
+        code, out = run(
+            capsys, "bench", "run", "smoke", "--jobs", "2",
+            "--cache-dir", str(cache), "--quiet",
+        )
+        assert code == 0
+        assert "8 cached" in out
+
+    def test_unknown_spec_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "run", "no-such-spec", "--no-cache"])
+
+
+class TestBenchCompare:
+    @pytest.fixture()
+    def artifact(self, tmp_path, capsys):
+        path = tmp_path / "r.json"
+        run(capsys, "bench", "run", "smoke", "--jobs", "0",
+            "--no-cache", "--quiet", "--out", str(path))
+        return path
+
+    def test_render_single(self, artifact, capsys):
+        code, out = run(capsys, "bench", "compare", str(artifact))
+        assert code == 0
+        assert "baseline" in out and "greedy" in out
+
+    def test_compare_two(self, artifact, capsys):
+        code, out = run(capsys, "bench", "compare", str(artifact), str(artifact))
+        assert code == 0
+        assert "ratio" in out
+        assert "1.00" in out
+
+    def test_missing_file_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(tmp_path / "nope.json")])
+
+    def test_foreign_json_exits(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"format": "other", "results": []}))
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(path)])
+
+    def test_wrong_shaped_records_exit_cleanly(self, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps([{"kernel": "matmul", "R": 4}]))
+        with pytest.raises(SystemExit):
+            main(["bench", "compare", str(path)])

@@ -1,0 +1,61 @@
+"""The method registry: name resolution and outcome correctness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PebblingInstance
+from repro.experiments import TaskSpec, method_names, resolve_method
+from repro.generators import dag_from_spec
+
+
+def make(dag="pyramid:3", model="oneshot", red=3, method="greedy"):
+    inst = PebblingInstance(dag=dag_from_spec(dag), model=model, red_limit=red)
+    task = TaskSpec(spec="t", dag=dag, model=model, method=method, red_limit=red)
+    return inst, task
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", [
+        "baseline", "greedy", "exact", "local-search",
+        "greedy:most-red-inputs", "greedy:red-ratio",
+        "fixed-order:belady", "fixed-order:lru", "fixed-order:random7",
+        "beam:4", "local-search:100", "sleep:0.01",
+    ])
+    def test_known_names_resolve(self, name):
+        assert callable(resolve_method(name))
+
+    @pytest.mark.parametrize("name", [
+        "warp-drive", "greedy:bogus-rule", "fixed-order:bogus",
+    ])
+    def test_unknown_names_raise(self, name):
+        with pytest.raises(ValueError):
+            resolve_method(name)(*make())
+
+    def test_method_names_lists_families(self):
+        names = method_names()
+        assert "baseline" in names and "exact" in names
+
+
+class TestOutcomes:
+    def test_exact_beats_or_matches_heuristics(self):
+        inst, task = make()
+        exact = resolve_method("exact")(inst, task).cost
+        for name in ("baseline", "greedy", "beam:4", "fixed-order:belady"):
+            assert resolve_method(name)(inst, task).cost >= exact
+
+    def test_baseline_reports_naive_bound(self):
+        inst, task = make(method="baseline")
+        outcome = resolve_method("baseline")(inst, task)
+        assert outcome.cost <= Fraction(outcome.extra["naive_bound"])
+
+    def test_tradeoff_opt_matches_formula_shape(self):
+        inst, task = make(dag="tradeoff:3x10", red=5, method="tradeoff-opt")
+        outcome = resolve_method("tradeoff-opt")(inst, task)
+        assert outcome.cost >= 0
+        assert "paper_formula" in outcome.extra
+
+    def test_tradeoff_opt_requires_tradeoff_dag(self):
+        inst, task = make(dag="pyramid:3", method="tradeoff-opt")
+        with pytest.raises(ValueError):
+            resolve_method("tradeoff-opt")(inst, task)

@@ -1,0 +1,112 @@
+"""RunResult records and their JSON/CSV round-trips."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments import RunResult, RunStatus
+from repro.io import (
+    run_results_from_csv,
+    run_results_from_json,
+    run_results_to_csv,
+    run_results_to_json,
+)
+
+SAMPLE = [
+    RunResult(
+        spec="s",
+        dag="pyramid:3",
+        model="oneshot",
+        method="greedy",
+        red_limit=3,
+        cost="8",
+        n_moves=14,
+        status=RunStatus.OK,
+        wall_time=0.25,
+        cached=False,
+        task_hash="abc123",
+        extra={"rule": "most-red-inputs"},
+    ),
+    RunResult(
+        spec="s",
+        dag="grid:4x4",
+        model="compcost",
+        method="exact",
+        red_limit=3,
+        cost="1604/25",
+        n_moves=40,
+        status=RunStatus.OK,
+        wall_time=1.5,
+        cached=True,
+        task_hash="def456",
+    ),
+    RunResult(
+        spec="s",
+        dag="matmul:5",
+        model="oneshot",
+        method="exact",
+        red_limit=None,
+        status=RunStatus.TIMEOUT,
+        wall_time=60.0,
+        task_hash="ffff",
+        error="exceeded 60s",
+    ),
+]
+
+
+class TestRunResult:
+    def test_cost_fraction_exact(self):
+        assert SAMPLE[1].cost_fraction == Fraction(1604, 25)
+
+    def test_unfinished_cost_is_none(self):
+        assert SAMPLE[2].cost_fraction is None
+        assert not SAMPLE[2].ok
+
+    def test_status_coerced_from_string(self):
+        r = RunResult(spec="s", dag="d", model="m", method="x",
+                      red_limit=1, status="timeout")
+        assert r.status is RunStatus.TIMEOUT
+
+    def test_dict_round_trip(self):
+        for r in SAMPLE:
+            assert RunResult.from_dict(r.to_dict()) == r
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        text = run_results_to_json(SAMPLE)
+        assert run_results_from_json(text) == SAMPLE
+
+    def test_versioned_envelope(self):
+        import json
+
+        payload = json.loads(run_results_to_json(SAMPLE))
+        assert payload["format"] == "repro-pebble/results/v1"
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            run_results_from_json('{"format": "something-else", "results": []}')
+
+    def test_accepts_bare_list(self):
+        import json
+
+        text = json.dumps([r.to_dict() for r in SAMPLE])
+        assert run_results_from_json(text) == SAMPLE
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self):
+        text = run_results_to_csv(SAMPLE)
+        assert run_results_from_csv(text) == SAMPLE
+
+    def test_fractions_survive(self):
+        restored = run_results_from_csv(run_results_to_csv(SAMPLE))
+        assert restored[1].cost_fraction == Fraction(1604, 25)
+
+    def test_extra_mapping_survives(self):
+        restored = run_results_from_csv(run_results_to_csv(SAMPLE))
+        assert restored[0].extra == {"rule": "most-red-inputs"}
+
+    def test_header_present(self):
+        first = run_results_to_csv(SAMPLE).splitlines()[0]
+        assert first.startswith("spec,dag,model,method,red_limit,cost")

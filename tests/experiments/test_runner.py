@@ -1,0 +1,150 @@
+"""Runner semantics: inline/parallel execution, cache, timeouts, failures."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    Runner,
+    RunStatus,
+    TaskSpec,
+    execute_task,
+)
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        dags=("pyramid:3", "chain:5"),
+        models=("oneshot",),
+        methods=("baseline", "greedy"),
+        red_limits=("min",),
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestExecuteTask:
+    def test_ok_record(self):
+        task = TaskSpec(spec="t", dag="pyramid:3", model="oneshot",
+                        method="greedy", red_limit="min")
+        result = execute_task(task)
+        assert result.ok
+        assert result.red_limit == 3  # "min" resolved against Delta+1
+        assert result.cost_fraction == Fraction(8)
+        assert result.task_hash == task.content_hash()
+
+    def test_infeasible_red_limit(self):
+        task = TaskSpec(spec="t", dag="pyramid:3", model="oneshot",
+                        method="greedy", red_limit=1)
+        result = execute_task(task)
+        assert result.status is RunStatus.INFEASIBLE
+        assert result.cost is None
+
+    def test_unknown_method_is_error(self):
+        task = TaskSpec(spec="t", dag="pyramid:3", model="oneshot",
+                        method="warp-drive", red_limit="min")
+        result = execute_task(task)
+        assert result.status is RunStatus.ERROR
+        assert "warp-drive" in result.error
+
+    def test_unknown_dag_is_error(self):
+        task = TaskSpec(spec="t", dag="klein-bottle:4", model="oneshot",
+                        method="greedy", red_limit="min")
+        assert execute_task(task).status is RunStatus.ERROR
+
+
+class TestInlineRunner:
+    def test_results_in_task_order(self):
+        spec = tiny_spec()
+        results = Runner(jobs=0).run(spec)
+        assert [(r.dag, r.method) for r in results] == [
+            (t.dag, t.method) for t in spec.tasks()
+        ]
+
+    def test_all_ok(self):
+        assert all(r.ok for r in Runner(jobs=0).run(tiny_spec()))
+
+
+class TestParallelRunner:
+    def test_matches_inline(self):
+        spec = tiny_spec()
+        inline = Runner(jobs=0).run(spec)
+        parallel = Runner(jobs=3).run(spec)
+        assert [(r.key(), r.cost) for r in inline] == [
+            (r.key(), r.cost) for r in parallel
+        ]
+
+    def test_timeout_kills_stuck_task_but_not_the_run(self):
+        spec = ExperimentSpec(
+            name="stuck",
+            dags=("chain:3",),
+            methods=("sleep:30", "baseline"),
+            timeout=0.5,
+        )
+        results = Runner(jobs=2).run(spec)
+        by_method = {r.method: r for r in results}
+        assert by_method["sleep:30"].status is RunStatus.TIMEOUT
+        assert by_method["sleep:30"].cost is None
+        assert by_method["baseline"].ok
+
+    def test_runner_timeout_overrides_spec(self):
+        spec = ExperimentSpec(name="stuck2", dags=("chain:3",),
+                              methods=("sleep:30",), timeout=600)
+        results = Runner(jobs=1, timeout=0.5).run(spec)
+        assert results[0].status is RunStatus.TIMEOUT
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Runner(jobs=-1)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        spec = tiny_spec()
+        first = Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        assert not any(r.cached for r in first)
+        second = Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        assert all(r.cached for r in second)
+        assert [r.cost for r in first] == [r.cost for r in second]
+
+    def test_cache_shared_across_spec_names(self, tmp_path):
+        Runner(jobs=0, cache_dir=tmp_path).run(tiny_spec(name="one"))
+        results = Runner(jobs=0, cache_dir=tmp_path).run(tiny_spec(name="two"))
+        assert all(r.cached for r in results)
+        # cached records are re-labelled with the requesting spec
+        assert all(r.spec == "two" for r in results)
+
+    def test_refresh_recomputes(self, tmp_path):
+        spec = tiny_spec()
+        Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        results = Runner(jobs=0, cache_dir=tmp_path, refresh=True).run(spec)
+        assert not any(r.cached for r in results)
+
+    def test_failures_not_cached(self, tmp_path):
+        spec = ExperimentSpec(name="err", dags=("chain:3",),
+                              methods=("warp-drive",))
+        Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        results = Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        assert results[0].status is RunStatus.ERROR
+        assert not results[0].cached
+
+    def test_corrupt_entry_recomputed(self, tmp_path):
+        spec = ExperimentSpec(name="c", dags=("chain:3",), methods=("baseline",))
+        runner = Runner(jobs=0, cache_dir=tmp_path)
+        first = runner.run(spec)
+        path = tmp_path / (first[0].task_hash + ".json")
+        path.write_text("{ not json")
+        results = Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        assert results[0].ok and not results[0].cached
+
+    def test_no_cache_dir_no_files(self, tmp_path):
+        Runner(jobs=0).run(tiny_spec())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_parallel_populates_cache_for_inline(self, tmp_path):
+        spec = tiny_spec()
+        Runner(jobs=2, cache_dir=tmp_path).run(spec)
+        results = Runner(jobs=0, cache_dir=tmp_path).run(spec)
+        assert all(r.cached for r in results)

@@ -1,0 +1,142 @@
+"""Grid expansion, red-limit resolution, and the spec registry."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    TaskSpec,
+    all_specs,
+    get_spec,
+    register_spec,
+    resolve_red_limit,
+)
+from repro.experiments.spec import split_dag_entry
+from repro.generators import dag_from_spec
+
+
+class TestResolveRedLimit:
+    def test_absolute(self):
+        assert resolve_red_limit(7, 3) == 7
+
+    def test_min(self):
+        assert resolve_red_limit("min", 3) == 3
+
+    def test_min_plus(self):
+        assert resolve_red_limit("min+2", 3) == 5
+
+    def test_numeric_string(self):
+        assert resolve_red_limit("4", 3) == 4
+
+
+class TestDagEntry:
+    def test_unpinned(self):
+        assert split_dag_entry("pyramid:4") == ("pyramid:4", None)
+
+    def test_pinned(self):
+        assert split_dag_entry("matmul:3#r5") == ("matmul:3", 5)
+
+    def test_pin_survives_colons(self):
+        assert split_dag_entry("layered:3-3-2:d2:s9#r3") == (
+            "layered:3-3-2:d2:s9",
+            3,
+        )
+
+
+class TestExperimentSpec:
+    def test_cartesian_product(self):
+        spec = ExperimentSpec(
+            name="t",
+            dags=("chain:3", "chain:4"),
+            models=("base", "oneshot"),
+            methods=("baseline", "greedy"),
+            red_limits=(2, 3),
+        )
+        tasks = spec.tasks()
+        assert len(tasks) == 2 * 2 * 2 * 2
+        assert len({(t.dag, t.model, t.method, t.red_limit) for t in tasks}) == 16
+
+    def test_pinned_dag_overrides_sweep(self):
+        spec = ExperimentSpec(
+            name="t", dags=("chain:3#r2", "chain:4"), red_limits=(2, 3, 4)
+        )
+        tasks = spec.tasks()
+        pinned = [t for t in tasks if t.dag == "chain:3"]
+        swept = [t for t in tasks if t.dag == "chain:4"]
+        assert [t.red_limit for t in pinned] == [2]
+        assert [t.red_limit for t in swept] == [2, 3, 4]
+
+    def test_requires_dags(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="t")
+
+    def test_lists_coerced_to_tuples(self):
+        spec = ExperimentSpec(name="t", dags=["chain:3"], models=["base"])
+        assert spec.dags == ("chain:3",)
+        assert hash(spec)  # stays hashable
+
+
+class TestTaskHash:
+    def test_spec_name_and_timeout_excluded(self):
+        a = TaskSpec(spec="a", dag="chain:3", model="base", method="greedy",
+                     red_limit=2, timeout=None)
+        b = TaskSpec(spec="b", dag="chain:3", model="base", method="greedy",
+                     red_limit=2, timeout=9.0)
+        assert a.content_hash() == b.content_hash()
+
+    def test_grid_coordinates_included(self):
+        base = dict(spec="a", dag="chain:3", model="base", method="greedy",
+                    red_limit=2)
+        ref = TaskSpec(**base).content_hash()
+        for change in (
+            {"dag": "chain:4"},
+            {"model": "oneshot"},
+            {"method": "baseline"},
+            {"red_limit": 3},
+            {"epsilon": "1/2"},
+        ):
+            assert TaskSpec(**{**base, **change}).content_hash() != ref
+
+    def test_file_dag_hash_tracks_contents(self, tmp_path):
+        from repro import ComputationDAG
+        from repro.io import dag_to_json
+
+        path = tmp_path / "dag.json"
+        path.write_text(dag_to_json(ComputationDAG([("a", "b")])))
+        task = TaskSpec(spec="a", dag=f"@{path}", model="base",
+                        method="greedy", red_limit=2)
+        before = task.content_hash()
+        assert before == task.content_hash()  # stable while unchanged
+        path.write_text(dag_to_json(ComputationDAG([("a", "b"), ("b", "c")])))
+        assert task.content_hash() != before  # editing the file invalidates
+
+    def test_round_trip_dict(self):
+        task = TaskSpec(spec="a", dag="chain:3", model="base",
+                        method="greedy", red_limit="min+1")
+        assert TaskSpec.from_dict(task.to_dict()) == task
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = {s.name for s in all_specs()}
+        assert {"smoke", "sec3-bounds", "hong-kung", "greedy-rules",
+                "eviction", "fig4-tradeoff", "beam-ablation"} <= names
+
+    def test_builtin_dag_specs_parse(self):
+        from repro.experiments.spec import split_dag_entry
+
+        for spec in all_specs():
+            for entry in spec.dags:
+                dag, _ = split_dag_entry(entry)
+                assert dag_from_spec(dag).n_nodes > 0
+
+    def test_unknown_spec(self):
+        with pytest.raises(KeyError):
+            get_spec("no-such-spec")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_spec(get_spec("smoke"))
+
+    def test_tag_filter(self):
+        assert all("ci" in s.tags for s in all_specs(tag="ci"))
+        assert any(s.name == "smoke" for s in all_specs(tag="ci"))

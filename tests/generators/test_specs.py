@@ -1,0 +1,66 @@
+"""The textual DAG-spec grammar shared by the CLI and the runner."""
+
+import pytest
+
+from repro.generators import (
+    butterfly_dag,
+    dag_from_spec,
+    grid_stencil_dag,
+    independent_tasks_dag,
+    layered_random_dag,
+    matmul_dag,
+    pyramid_dag,
+)
+
+
+class TestClassicSpecs:
+    @pytest.mark.parametrize("spec,expected", [
+        ("pyramid:3", pyramid_dag(3)),
+        ("grid:2x3", grid_stencil_dag(2, 3)),
+        ("butterfly:2", butterfly_dag(2)),
+        ("matmul:2", matmul_dag(2)),
+        ("tasks:3x2", independent_tasks_dag(3, 2)),
+    ])
+    def test_matches_generator(self, spec, expected):
+        assert dag_from_spec(spec).n_nodes == expected.n_nodes
+
+    def test_chain_and_tree(self):
+        assert dag_from_spec("chain:5").n_nodes == 5
+        assert dag_from_spec("tree:4").n_nodes > 4
+
+
+class TestParameterisedSpecs:
+    def test_layered_defaults(self):
+        assert (
+            dag_from_spec("layered:3-3-2").n_nodes
+            == layered_random_dag([3, 3, 2]).n_nodes
+        )
+
+    def test_layered_options_are_deterministic(self):
+        a = dag_from_spec("layered:3-3-2:d2:s9")
+        b = layered_random_dag([3, 3, 2], indegree=2, seed=9)
+        assert sorted(map(str, a.edges())) == sorted(map(str, b.edges()))
+
+    def test_tradeoff(self):
+        # 2 control groups of size d, chain of n
+        assert dag_from_spec("tradeoff:3x10").n_nodes == 2 * 3 + 10
+
+    def test_json_file(self, tmp_path):
+        from repro import ComputationDAG
+        from repro.io import dag_to_json
+
+        path = tmp_path / "dag.json"
+        path.write_text(dag_to_json(ComputationDAG([("a", "b")])))
+        assert dag_from_spec(f"@{path}").n_nodes == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("spec", [
+        "klein-bottle:4",      # unknown generator
+        "grid:4",              # missing AxB argument
+        "pyramid:x",           # non-numeric size
+        "layered:3-3:q7",      # unknown layered option
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            dag_from_spec(spec)

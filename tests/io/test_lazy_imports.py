@@ -1,0 +1,18 @@
+"""repro.io must stay importable without loading the experiments subsystem."""
+
+import os
+import subprocess
+import sys
+
+import repro
+
+
+def test_repro_io_does_not_import_experiments():
+    pkg_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env = {**os.environ, "PYTHONPATH": pkg_root}
+    code = (
+        "import sys; import repro.io; "
+        "sys.exit(1 if 'repro.experiments.runner' in sys.modules else 0)"
+    )
+    proc = subprocess.run([sys.executable, "-c", code], env=env)
+    assert proc.returncode == 0

@@ -5,7 +5,7 @@ this ablation measures where they agree and how far any of them can drift
 from the optimum on small irregular DAGs (exact optimum via state-space
 search).
 
-The grid (4 workloads x {3 greedy rules, exact}) is the declarative
+The grid (5 workloads x {3 greedy rules, exact}) is the declarative
 ``greedy-rules`` spec of :mod:`repro.experiments`; this script keeps the
 assertions.
 
@@ -30,7 +30,7 @@ def test_greedy_rules_ablation(benchmark):
     results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
     assert all(r.ok for r in results)
     grouped = pivot_costs(results)
-    assert len(grouped) == 4
+    assert len(grouped) == 5
     for dag, costs in grouped.items():
         opt = costs["exact"]
         for rule in RULES:

@@ -8,8 +8,10 @@ A faithful, executable reproduction of
 The package provides:
 
 * the four pebbling model variants (base / oneshot / nodel / compcost) with
-  exact cost accounting (:mod:`repro.core`);
-* exact optimal solvers, group-structured solvers and bounds
+  exact cost accounting (:mod:`repro.core`), including the bitmask state
+  encoding every hot path runs on (:mod:`repro.core.bitstate`);
+* exact optimal solvers — all sharing the bitmask search kernel of
+  :mod:`repro.solvers.kernel` — group-structured solvers and bounds
   (:mod:`repro.solvers`);
 * the greedy heuristics of Section 8 with pluggable eviction policies
   (:mod:`repro.heuristics`);
@@ -34,6 +36,8 @@ Fraction(0, 1)
 
 from .core import (
     ALL_MODELS,
+    BitLayout,
+    BitState,
     BudgetExceededError,
     CapacityExceededError,
     ComputationDAG,
@@ -63,8 +67,11 @@ from .core import (
     Store,
     ValidationReport,
     apply_move,
+    apply_move_bits,
+    bit_layout,
     cost_model_for,
     legal_moves,
+    legal_moves_bits,
     move_from_tuple,
     validate_schedule,
 )
@@ -92,6 +99,11 @@ __all__ = [
     "PebblingState",
     "apply_move",
     "legal_moves",
+    "BitLayout",
+    "BitState",
+    "bit_layout",
+    "apply_move_bits",
+    "legal_moves_bits",
     "PebblingSimulator",
     "ExecutionResult",
     "ValidationReport",

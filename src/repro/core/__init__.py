@@ -4,6 +4,13 @@ The public surface of this subpackage is re-exported at the top level of
 :mod:`repro`; import from there in application code.
 """
 
+from .bitstate import (
+    BitLayout,
+    BitState,
+    apply_move_bits,
+    bit_layout,
+    legal_moves_bits,
+)
 from .dag import ComputationDAG, Node
 from .errors import (
     BudgetExceededError,
@@ -46,6 +53,11 @@ __all__ = [
     "PebblingState",
     "apply_move",
     "legal_moves",
+    "BitLayout",
+    "BitState",
+    "bit_layout",
+    "apply_move_bits",
+    "legal_moves_bits",
     "PebblingSimulator",
     "ExecutionResult",
     "ValidationReport",

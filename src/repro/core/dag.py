@@ -60,6 +60,7 @@ class ComputationDAG:
         "_topo",
         "_max_indegree",
         "_n_edges",
+        "_bit_layout",
     )
 
     def __init__(
@@ -109,6 +110,9 @@ class ComputationDAG:
         self._max_indegree = max(
             (len(ps) for ps in self._preds.values()), default=0
         )
+        # lazily-built bitmask layout, shared by every search over this DAG
+        # (see repro.core.bitstate.bit_layout)
+        self._bit_layout = None
 
     # ------------------------------------------------------------------ #
     # construction helpers

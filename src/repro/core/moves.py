@@ -10,6 +10,12 @@ A pebbling is a sequence of four kinds of moves (Section 1 of the paper):
 Moves are small immutable value objects.  They are hashable and ordered so
 they can live in sets, dict keys and sorted schedules, and they render
 compactly (``L(v)``, ``S(v)``, ``C(v)``, ``D(v)``) for debugging.
+
+``kind_id`` doubles as the move's discriminant in the bitmask engine: the
+search kernel (:mod:`repro.solvers.kernel`) encodes a move as the integer
+``kind_id * n + bit_index`` and materialises :class:`Move` objects only
+when reconstructing a schedule, so ``MOVE_KINDS[kind_id]`` is the single
+source of truth for the code -> class mapping in both directions.
 """
 
 from __future__ import annotations

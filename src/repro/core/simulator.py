@@ -4,6 +4,15 @@
 higher layers (heuristics, strategy emitters, reductions) ultimately
 justify their cost claims by running their schedules through it, and the
 test-suite cross-checks every analytic cost formula against it.
+
+Schedule execution (:meth:`PebblingSimulator.run`) operates natively on
+the bitmask encoding of :mod:`repro.core.bitstate`: the board is three
+ints for the whole run and only the final state is decoded back to a
+:class:`PebblingState`.  The stepping API (:meth:`PebblingSimulator.step`)
+keeps the legacy frozenset transition — it takes and returns public
+``PebblingState`` objects, so converting per call would only add work;
+it also preserves an independent implementation of the rules at the API
+edge.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, List, Optional, Tuple
 
+from .bitstate import apply_move_bits, bit_layout
 from .dag import ComputationDAG, Node
 from .errors import IncompletePebblingError
 from .instance import PebblingInstance
@@ -116,7 +126,57 @@ class PebblingSimulator:
             If True, raise :class:`IncompletePebblingError` when the final
             state leaves some sink unpebbled.
         """
-        state = initial_state if initial_state is not None else PebblingState.initial()
+        start = initial_state if initial_state is not None else PebblingState.initial()
+        layout = bit_layout(self.dag)
+        index = layout.index
+        if any(v not in index for v in start.red | start.blue | start.computed):
+            # states mentioning nodes outside the DAG cannot be encoded;
+            # fall back to the legacy stepper (moves on such nodes would be
+            # rejected either way, but the foreign pebbles must survive)
+            return self._run_legacy(
+                schedule, start, require_complete=require_complete
+            )
+
+        costs = self.costs
+        red_limit = self.red_limit
+        bits = layout.encode_state(start)
+        breakdown = CostBreakdown()
+        total = Fraction(0)
+        steps = 0
+        max_red = bits.red.bit_count()
+
+        for i, move in enumerate(schedule):
+            bits, cost = apply_move_bits(layout, bits, move, costs, red_limit, i)
+            breakdown.record(move, cost)
+            total += cost
+            steps += 1
+            reds = bits.red.bit_count()
+            if reds > max_red:
+                max_red = reds
+
+        state = layout.decode_state(bits)
+        complete = self.is_complete(state)
+        if require_complete and not complete:
+            missing = [s for s in self.dag.sinks if not state.has_pebble(s)]
+            raise IncompletePebblingError(missing)
+
+        return ExecutionResult(
+            cost=total,
+            breakdown=breakdown,
+            final_state=state,
+            steps=steps,
+            complete=complete,
+            max_red_in_use=max_red,
+        )
+
+    def _run_legacy(
+        self,
+        schedule: "Schedule | Iterable[Move]",
+        state: PebblingState,
+        *,
+        require_complete: bool,
+    ) -> ExecutionResult:
+        """Frozenset-based execution path (states with out-of-DAG nodes)."""
         breakdown = CostBreakdown()
         total = Fraction(0)
         steps = 0

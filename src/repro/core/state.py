@@ -9,6 +9,17 @@ States are immutable and hashable so they can serve directly as search
 nodes in the exact solvers.  The transition function lives here (rather
 than on the simulator) so that solvers can expand states without building
 a simulator object per expansion.
+
+This module is the *reference* implementation and the public conversion
+boundary.  Hot paths — the solvers' search kernel, schedule execution,
+the heuristic pebblers — run on the bitmask encoding of
+:mod:`repro.core.bitstate` instead and convert at the edges via
+:meth:`PebblingState.to_bits` / :meth:`PebblingState.from_bits`.  The
+canonical identity of a state is its ``(red, blue, computed)`` triple:
+two states are equal iff the triples are equal, which coincides exactly
+with equality of their bit encodings under any fixed
+:class:`~repro.core.bitstate.BitLayout`; ``__hash__`` is derived from the
+same triple.  The differential test-suite pins this agreement.
 """
 
 from __future__ import annotations
@@ -73,18 +84,40 @@ class PebblingState:
         """Completion condition: every sink holds a (red or blue) pebble."""
         return all(self.has_pebble(s) for s in dag.sinks)
 
-    def check_invariants(self) -> None:
-        """Raise AssertionError if a structural invariant is violated."""
+    def check_invariants(self, dag: "ComputationDAG | None" = None) -> None:
+        """Raise AssertionError if a structural invariant is violated.
+
+        With a ``dag``, additionally checks that every tracked node exists
+        in it (a state referencing foreign nodes cannot be bit-encoded and
+        indicates the caller mixed up DAGs).
+        """
         assert not (self.red & self.blue), "a node holds both a red and a blue pebble"
         pebbled = self.red | self.blue
         assert pebbled <= self.computed, "a pebbled node was never computed"
+        if dag is not None:
+            foreign = [v for v in self.computed if v not in dag]
+            assert not foreign, f"state tracks nodes outside the DAG: {foreign[:5]!r}"
+
+    # ------------------------------------------------------------------ #
+    # bitmask conversion boundary
+    # ------------------------------------------------------------------ #
+
+    def to_bits(self, layout):
+        """Encode under a :class:`~repro.core.bitstate.BitLayout`."""
+        return layout.encode_state(self)
+
+    @classmethod
+    def from_bits(cls, layout, bits) -> "PebblingState":
+        """Decode a :class:`~repro.core.bitstate.BitState` back to sets."""
+        return layout.decode_state(bits)
 
     # ------------------------------------------------------------------ #
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other):
+        if not isinstance(other, PebblingState):
+            return NotImplemented
         return (
-            isinstance(other, PebblingState)
-            and self.red == other.red
+            self.red == other.red
             and self.blue == other.blue
             and self.computed == other.computed
         )

@@ -18,7 +18,11 @@ name                     behaviour
                          / ``random[SEED]``
 ``beam:WIDTH``           beam search over computation orders
 ``local-search[:EVALS]`` greedy order + hill climbing
-``exact``                optimal cost by state-space search
+``exact``                optimal cost via the bitmask search kernel
+``exact:legacy``         optimal cost via the frozenset reference solver
+                         (cross-checking / debugging the kernel)
+``idastar``              optimal cost by iterative-deepening A* (the
+                         structurally independent second exact solver)
 ``tradeoff-opt``         the provably optimal Figure 3/4 alternating
                          strategy (requires a ``tradeoff:DxN`` DAG spec)
 ``sleep:SECONDS``        test/diagnostic hook: sleeps, then reports cost 0
@@ -137,10 +141,24 @@ def _run_local_search(max_evaluations: int) -> MethodFn:
     return run
 
 
-def _run_exact(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
-    from ..solvers.exact import solve_optimal
+def _run_exact(engine: str) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..solvers.exact import solve_optimal
 
-    result = solve_optimal(inst, return_schedule=True)
+        result = solve_optimal(inst, return_schedule=True, engine=engine)
+        return MethodOutcome(
+            cost=result.cost,
+            n_moves=result.length,
+            extra={"expanded": str(result.expanded), "engine": engine},
+        )
+
+    return run
+
+
+def _run_idastar(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..solvers.idastar import solve_optimal_idastar
+
+    result = solve_optimal_idastar(inst, return_schedule=True)
     return MethodOutcome(
         cost=result.cost,
         n_moves=result.length,
@@ -181,7 +199,9 @@ def _run_sleep(seconds: float) -> MethodFn:
 _FIXED: Dict[str, MethodFn] = {
     "baseline": _run_baseline,
     "greedy": _run_greedy(None),
-    "exact": _run_exact,
+    "exact": _run_exact("bits"),
+    "exact:legacy": _run_exact("legacy"),
+    "idastar": _run_idastar,
     "tradeoff-opt": _run_tradeoff_opt,
     "local-search": _run_local_search(2000),
 }

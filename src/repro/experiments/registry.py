@@ -51,7 +51,7 @@ BUILTIN_SPECS = (
         description="Tiny end-to-end grid for CI smoke runs (seconds, not minutes)",
         dags=("pyramid:3", "chain:6"),
         models=("oneshot", "base"),
-        methods=("baseline", "greedy"),
+        methods=("baseline", "greedy", "exact"),
         red_limits=("min",),
         tags=("ci", "fast"),
     ),
@@ -79,6 +79,7 @@ BUILTIN_SPECS = (
         dags=(
             "tasks:3x2#r3",
             "pyramid:3#r3",
+            "pyramid:4#r4",
             "grid:3x3#r3",
             "layered:3-3-2:d2:s9#r3",
         ),
@@ -112,6 +113,17 @@ BUILTIN_SPECS = (
         methods=("tradeoff-opt",),
         red_limits=(8, 9, 10, 11, 12, 13, 14),
         tags=("paper", "tradeoff"),
+    ),
+    ExperimentSpec(
+        name="tradeoff-exact",
+        description=(
+            "Exhaustive confirmation of the Figure 3/4 alternating strategy: "
+            "exact optimum vs the paper's closed form on small tradeoff gadgets"
+        ),
+        dags=("tradeoff:2x6#r4", "tradeoff:2x6#r5", "tradeoff:2x6#r6"),
+        models=("oneshot",),
+        methods=("tradeoff-opt", "exact"),
+        tags=("paper", "tradeoff", "fast"),
     ),
     ExperimentSpec(
         name="beam-ablation",

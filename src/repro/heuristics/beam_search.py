@@ -89,11 +89,8 @@ def beam_search_pebble(
                 twin.compute_next(v)
                 expanded += 1
                 tcost = _cost_of(twin)
-                signature = (
-                    frozenset(twin.red),
-                    frozenset(twin.blue),
-                    frozenset(twin.computed),
-                )
+                # bitmask board signature: three ints, cheap to hash
+                signature = (twin.red_mask, twin.blue_mask, twin.computed_mask)
                 prev = seen_boards.get(signature)
                 if prev is not None and prev <= tcost:
                     continue

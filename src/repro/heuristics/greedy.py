@@ -94,7 +94,7 @@ def _secondary(pebbler: OnlinePebbler, v: Node) -> float:
     """Red-input count of v's best uncomputed consumer (see module doc)."""
     best = 0
     for w in pebbler.dag.successors(v):
-        if w not in pebbler.computed:
+        if not pebbler.is_computed(w):
             r = pebbler.red_inputs(w)
             if r > best:
                 best = r

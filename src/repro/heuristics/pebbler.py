@@ -6,6 +6,14 @@ the executor that handles (b) plus all model-specific bookkeeping, given
 (a) from either a fixed order (:func:`fixed_order_schedule`) or an online
 node selector (the greedy rules of :mod:`repro.heuristics.greedy`).
 
+The board lives natively on the bitmask encoding of
+:mod:`repro.core.bitstate`: ``red``/``blue``/``computed`` are three ints,
+readiness tests are mask comparisons, and :meth:`OnlinePebbler.clone`
+(the hot operation of beam search) copies ints instead of sets.  The
+node-level views (:attr:`OnlinePebbler.red` and friends) decode on demand
+for callers and debuggers; eviction policies keep their node-level
+:class:`EvictionContext` interface unchanged.
+
 Model-aware rules (derived from Table 1, validated against the simulator):
 
 * acquiring a non-red input: Load if blue (all models); recompute instead
@@ -24,8 +32,9 @@ it cannot recompute, and completed sinks always stay pebbled.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
+from ..core.bitstate import BitLayout, bit_layout, iter_bits
 from ..core.dag import ComputationDAG, Node
 from ..core.errors import PebblingError
 from ..core.instance import PebblingInstance
@@ -72,16 +81,19 @@ class OnlinePebbler:
         self.eviction = eviction if eviction is not None else MinRemainingUses()
         self._next_use_fn = next_use_fn
 
+        layout = bit_layout(instance.dag)
+        self._layout: BitLayout = layout
         self.moves: List[Move] = []
-        self.red: Set[Node] = set()
-        self.blue: Set[Node] = set()
-        self.computed: Set[Node] = set()
-        self.remaining_uses: Dict[Node, int] = {
-            v: self.dag.outdegree(v) for v in self.dag
-        }
+        # bitmask board (bit index == topological position, see BitLayout)
+        self._red = 0
+        self._blue = 0
+        self._computed = 0
+        # remaining uncomputed consumers, indexed by bit
+        self._remaining: List[int] = [
+            layout.succ_masks[i].bit_count() for i in range(layout.n)
+        ]
         self.last_used: Dict[Node, int] = {}
         self.step = 0
-        self._topo_pos = {v: i for i, v in enumerate(self.dag.topological_order())}
 
     # ------------------------------------------------------------------ #
     # cloning (used by beam search)
@@ -97,15 +109,53 @@ class OnlinePebbler:
         twin.red_limit = self.red_limit
         twin.eviction = self.eviction
         twin._next_use_fn = self._next_use_fn
+        twin._layout = self._layout
         twin.moves = list(self.moves)
-        twin.red = set(self.red)
-        twin.blue = set(self.blue)
-        twin.computed = set(self.computed)
-        twin.remaining_uses = dict(self.remaining_uses)
+        twin._red = self._red
+        twin._blue = self._blue
+        twin._computed = self._computed
+        twin._remaining = list(self._remaining)
         twin.last_used = dict(self.last_used)
         twin.step = self.step
-        twin._topo_pos = self._topo_pos
         return twin
+
+    # ------------------------------------------------------------------ #
+    # board views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def red(self) -> FrozenSet[Node]:
+        """Nodes currently holding a red pebble (decoded view)."""
+        return self._layout.decode_set(self._red)
+
+    @property
+    def blue(self) -> FrozenSet[Node]:
+        """Nodes currently holding a blue pebble (decoded view)."""
+        return self._layout.decode_set(self._blue)
+
+    @property
+    def computed(self) -> FrozenSet[Node]:
+        """Nodes computed at least once (decoded view)."""
+        return self._layout.decode_set(self._computed)
+
+    @property
+    def red_mask(self) -> int:
+        return self._red
+
+    @property
+    def blue_mask(self) -> int:
+        return self._blue
+
+    @property
+    def computed_mask(self) -> int:
+        return self._computed
+
+    def is_computed(self, v: Node) -> bool:
+        return self._computed >> self._layout.index[v] & 1 == 1
+
+    def remaining_uses_of(self, v: Node) -> int:
+        """Number of consumers of ``v`` not yet computed."""
+        return self._remaining[self._layout.index[v]]
 
     # ------------------------------------------------------------------ #
     # queries
@@ -114,24 +164,27 @@ class OnlinePebbler:
     def ready_nodes(self) -> List[Node]:
         """Uncomputed nodes whose inputs have all been computed — the
         candidate set of the Section 8 greedy algorithms."""
+        layout = self._layout
+        computed = self._computed
+        parent_masks = layout.parent_masks
+        nodes = layout.nodes
         return [
-            v
-            for v in self.dag
-            if v not in self.computed
-            and all(p in self.computed for p in self.dag.predecessors(v))
+            nodes[i]
+            for i in iter_bits(layout.full_mask & ~computed)
+            if parent_masks[i] & ~computed == 0
         ]
 
     def red_inputs(self, v: Node) -> int:
-        return sum(1 for p in self.dag.predecessors(v) if p in self.red)
+        return (self._layout.parent_masks[self._layout.index[v]] & self._red).bit_count()
 
     def blue_inputs(self, v: Node) -> int:
-        return sum(1 for p in self.dag.predecessors(v) if p in self.blue)
+        return (self._layout.parent_masks[self._layout.index[v]] & self._blue).bit_count()
 
     def schedule(self) -> Schedule:
         return Schedule(self.moves)
 
     def is_complete(self) -> bool:
-        return all(s in self.red or s in self.blue for s in self.dag.sinks)
+        return self._layout.sink_mask & ~(self._red | self._blue) == 0
 
     # ------------------------------------------------------------------ #
     # internals
@@ -141,26 +194,29 @@ class OnlinePebbler:
         self.moves.append(move)
         self.step += 1
 
-    def _recomputable_free(self, v: Node) -> bool:
-        """Can v be re-created later without a Load?  Only sources, and only
-        in models that allow recomputation (compute is free or epsilon)."""
-        return self.instance.costs.recompute_allowed and not self.dag.predecessors(v)
+    def _recomputable_free(self, bit_index: int) -> bool:
+        """Can the node be re-created later without a Load?  Only sources,
+        and only in models that allow recomputation (free or epsilon)."""
+        return (
+            self.instance.costs.recompute_allowed
+            and self._layout.parent_masks[bit_index] == 0
+        )
 
     def _next_use(self, v: Node) -> Optional[int]:
-        if self.remaining_uses[v] <= 0:
+        i = self._layout.index[v]
+        if self._remaining[i] <= 0:
             return None
         if self._next_use_fn is not None:
             return self._next_use_fn(v)
-        # online estimate: earliest (topological) uncomputed consumer
-        positions = [
-            self._topo_pos[w]
-            for w in self.dag.successors(v)
-            if w not in self.computed
-        ]
-        return min(positions) if positions else None
+        # online estimate: earliest (topological) uncomputed consumer;
+        # bit index == topological position, so that is the lowest set bit
+        pending = self._layout.succ_masks[i] & ~self._computed
+        if not pending:
+            return None
+        return (pending & -pending).bit_length() - 1
 
-    def _eviction_tier(self, v: Node) -> int:
-        """Smaller = cheaper to evict.
+    def _eviction_tier(self, i: int) -> int:
+        """Smaller = cheaper to evict (``i`` is a bit index).
 
         Tier 0: dead non-sinks (Delete, free) and — when recomputation is
         allowed — live sources (Delete now, recompute later at <= epsilon).
@@ -169,82 +225,89 @@ class OnlinePebbler:
         nodel).  Tier 2: live values that will need a Store now and a Load
         later.
         """
-        dead = self.remaining_uses[v] <= 0
-        is_sink = not self.dag.successors(v)
+        dead = self._remaining[i] <= 0
+        is_sink = self._layout.succ_masks[i] == 0
         if self.model is Model.NODEL:
             # every eviction is a Store; live non-sources also pay a Load later
-            if dead or self._recomputable_free(v):
+            if dead or self._recomputable_free(i):
                 return 1
             return 2
         if dead:
             return 1 if is_sink else 0
-        if self._recomputable_free(v) and not is_sink:
+        if self._recomputable_free(i) and not is_sink:
             return 0
         return 2
 
-    def _evict_one(self, pinned: Set[Node]) -> None:
-        candidates = [v for v in self.red if v not in pinned]
-        if not candidates:
+    def _evict_one(self, pinned_mask: int) -> None:
+        candidate_mask = self._red & ~pinned_mask
+        if not candidate_mask:
             raise PebblerError(
-                f"cannot free a red slot: all {len(self.red)} red pebbles are "
-                f"pinned (R={self.red_limit} too small for this step?)"
+                f"cannot free a red slot: all {self._red.bit_count()} red pebbles "
+                f"are pinned (R={self.red_limit} too small for this step?)"
             )
-        tiers: Dict[int, List[Node]] = {}
-        for v in candidates:
-            tiers.setdefault(self._eviction_tier(v), []).append(v)
+        tiers: Dict[int, List[int]] = {}
+        for i in iter_bits(candidate_mask):
+            tiers.setdefault(self._eviction_tier(i), []).append(i)
         tier = min(tiers)
         pool = tiers[tier]
+        nodes = self._layout.nodes
         if len(pool) == 1:
-            victim = pool[0]
+            victim = nodes[pool[0]]
         else:
+            remaining = self._remaining
+            index = self._layout.index
             ctx = EvictionContext(
-                remaining_uses=lambda v: self.remaining_uses[v],
+                remaining_uses=lambda v: remaining[index[v]],
                 next_use=self._next_use,
                 last_used=lambda v: self.last_used.get(v, -1),
                 step=self.step,
             )
-            victim = self.eviction.choose_victim(pool, ctx)
+            victim = self.eviction.choose_victim([nodes[i] for i in pool], ctx)
         self._dispose(victim)
 
     def _dispose(self, victim: Node) -> None:
         """Remove the red pebble from ``victim`` in the cheapest legal way."""
-        dead = self.remaining_uses[victim] <= 0
-        is_sink = not self.dag.successors(victim)
+        i = self._layout.index[victim]
+        bit = 1 << i
+        dead = self._remaining[i] <= 0
+        is_sink = self._layout.succ_masks[i] == 0
         keep_value = (not dead) or is_sink
-        self.red.discard(victim)
+        self._red &= ~bit
         if self.model is Model.NODEL:
             self._emit(Store(victim))
-            self.blue.add(victim)
-        elif keep_value and (is_sink or not self._recomputable_free(victim)):
+            self._blue |= bit
+        elif keep_value and (is_sink or not self._recomputable_free(i)):
             # sinks keep their pebble unconditionally: even a recomputable
             # source sink would otherwise end the pebbling unpebbled
             self._emit(Store(victim))
-            self.blue.add(victim)
+            self._blue |= bit
         else:
             self._emit(Delete(victim))
 
-    def _ensure_slot(self, pinned: Set[Node]) -> None:
-        while len(self.red) >= self.red_limit:
-            self._evict_one(pinned)
+    def _ensure_slot(self, pinned_mask: int) -> None:
+        while self._red.bit_count() >= self.red_limit:
+            self._evict_one(pinned_mask)
 
-    def _acquire_input(self, p: Node, pinned: Set[Node]) -> None:
+    def _acquire_input(self, p: Node, pinned_mask: int) -> None:
         """Make input ``p`` red.  ``p`` has been computed before."""
-        if p in self.red:
+        i = self._layout.index[p]
+        bit = 1 << i
+        if self._red & bit:
             return
-        self._ensure_slot(pinned)
-        if p in self.blue:
+        self._ensure_slot(pinned_mask)
+        if self._blue & bit:
             # recomputing beats loading only for free-recomputable sources
-            if self._recomputable_free(p):
+            if self._recomputable_free(i):
                 self._emit(Compute(p))
             else:
                 self._emit(Load(p))
-            self.blue.discard(p)
-            self.red.add(p)
+            self._blue &= ~bit
+            self._red |= bit
             return
         # no pebble anywhere: only legal if p is recomputable from nothing
-        if self._recomputable_free(p):
+        if self._recomputable_free(i):
             self._emit(Compute(p))
-            self.red.add(p)
+            self._red |= bit
             return
         raise PebblerError(
             f"input {p!r} has no pebble and cannot be recomputed "
@@ -259,35 +322,46 @@ class OnlinePebbler:
     def compute_next(self, v: Node) -> None:
         """Compute node ``v`` (first computation), emitting all the loads,
         evictions and the Compute itself."""
-        if v in self.computed:
+        layout = self._layout
+        vi = layout.index.get(v)
+        if vi is None:
+            raise PebblerError(f"{v!r} is not a node of the DAG")
+        vbit = 1 << vi
+        if self._computed & vbit:
             raise PebblerError(f"{v!r} was already computed")
-        preds = self.dag.predecessors(v)
-        missing = [p for p in preds if p not in self.computed]
-        if missing:
+        parent_mask = layout.parent_masks[vi]
+        missing_mask = parent_mask & ~self._computed
+        if missing_mask:
+            missing = [layout.nodes[i] for i in iter_bits(missing_mask)]
             raise PebblerError(f"inputs of {v!r} not yet computed: {missing[:4]!r}")
 
-        pinned = set(preds) | {v}
-        if len(pinned) > self.red_limit:
+        pinned_mask = parent_mask | vbit
+        if pinned_mask.bit_count() > self.red_limit:
             raise PebblerError(
-                f"{v!r} needs {len(pinned)} red pebbles but R={self.red_limit}"
+                f"{v!r} needs {pinned_mask.bit_count()} red pebbles "
+                f"but R={self.red_limit}"
             )
+        preds = [layout.nodes[i] for i in iter_bits(parent_mask)]
         for p in sorted(preds, key=repr):
-            self._acquire_input(p, pinned)
+            self._acquire_input(p, pinned_mask)
             self.last_used[p] = self.step
-        self._ensure_slot(pinned)
+        self._ensure_slot(pinned_mask)
         self._emit(Compute(v))
-        self.red.add(v)
-        self.computed.add(v)
+        self._blue &= ~vbit
+        self._red |= vbit
+        self._computed |= vbit
         self.last_used[v] = self.step
-        for p in preds:
-            self.remaining_uses[p] -= 1
+        remaining = self._remaining
+        for i in iter_bits(parent_mask):
+            remaining[i] -= 1
 
     def run_order(self, order: Sequence[Node]) -> Schedule:
         """Compute every node of ``order`` in sequence and return the moves."""
         for v in order:
             self.compute_next(v)
         if not self.is_complete():  # pragma: no cover - defensive
-            missing = [s for s in self.dag.sinks if s not in self.red | self.blue]
+            pending = self._layout.sink_mask & ~(self._red | self._blue)
+            missing = [self._layout.nodes[i] for i in iter_bits(pending)]
             raise PebblerError(f"order left sinks unpebbled: {missing[:4]!r}")
         return self.schedule()
 

@@ -1,7 +1,14 @@
-"""Solvers: exact optimal pebbling, visit-order optimization, bounds."""
+"""Solvers: exact optimal pebbling, visit-order optimization, bounds.
+
+The exact solvers (``solve_optimal``, ``solve_optimal_idastar``) and the
+``exhaustive_cost_bounds`` helper all run on the shared bitmask search
+kernel in :mod:`repro.solvers.kernel`; ``solve_optimal_legacy`` keeps the
+original frozenset search as the reference oracle.
+"""
 
 from .bounds import (
     compcost_lower_bound,
+    exhaustive_cost_bounds,
     feasible,
     fft_io_lower_bound,
     matmul_io_lower_bound,
@@ -10,7 +17,13 @@ from .bounds import (
     trivial_lower_bound,
     upper_bound_naive,
 )
-from .exact import OptimalResult, decide_pebbling, solve_optimal
+from .exact import (
+    OptimalResult,
+    compcost_heuristic,
+    decide_pebbling,
+    solve_optimal,
+    solve_optimal_legacy,
+)
 from .idastar import solve_optimal_idastar
 from .group import (
     brute_force_min_order,
@@ -21,9 +34,12 @@ from .group import (
 
 __all__ = [
     "solve_optimal",
+    "solve_optimal_legacy",
     "solve_optimal_idastar",
     "decide_pebbling",
+    "compcost_heuristic",
     "OptimalResult",
+    "exhaustive_cost_bounds",
     "held_karp_min_order",
     "brute_force_min_order",
     "nearest_neighbor_order",

@@ -2,7 +2,10 @@
 
 Implements the elementary bounds of Section 3 of the paper plus the
 classic Hong-Kung style I/O lower bounds for matmul/FFT DAGs (used as
-reference curves by ``benchmarks/bench_hong_kung.py``).
+reference curves by ``benchmarks/bench_hong_kung.py``), and
+:func:`exhaustive_cost_bounds`, which brackets the optimum by a truncated
+run of the shared bitmask search kernel (:mod:`repro.solvers.kernel`)
+when an instance is too large to solve exactly.
 
 The Table 2 cost ranges are exactly these bounds:
 
@@ -15,10 +18,12 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
-from typing import FrozenSet, Union
+from typing import FrozenSet, Tuple, Union
 
 from ..core.dag import ComputationDAG, Node
+from ..core.instance import PebblingInstance
 from ..core.models import DEFAULT_EPSILON, Model
+from . import kernel
 
 __all__ = [
     "feasible",
@@ -27,6 +32,7 @@ __all__ = [
     "trivial_lower_bound",
     "nodel_lower_bound",
     "compcost_lower_bound",
+    "exhaustive_cost_bounds",
     "matmul_io_lower_bound",
     "fft_io_lower_bound",
 ]
@@ -101,6 +107,49 @@ def compcost_lower_bound(
     at a cost of epsilon each (Section 4)."""
     non_sources = sum(1 for v in required_nodes(dag) if dag.predecessors(v))
     return Fraction(epsilon) * non_sources
+
+
+def exhaustive_cost_bounds(
+    instance: PebblingInstance,
+    *,
+    node_budget: int = 50_000,
+) -> Tuple[Fraction, Fraction]:
+    """Bracket the optimal cost of ``instance`` as ``(lower, upper)``.
+
+    Runs the shared bitmask kernel for at most ``node_budget`` expansions.
+    If the search finishes, both ends equal the exact optimum.  Otherwise
+    the lower end is the smallest f-value still open on the frontier (no
+    cheaper completion can exist, since f-values along any path are
+    non-decreasing) and the upper end is the model-aware Section 3 bound
+    ``trivial upper = (2*Delta+1)*n`` floor-joined with the lower bounds of
+    Table 2 via :func:`trivial_lower_bound`.
+
+    This replaces the old pattern of callers running their own truncated
+    frozenset searches to size up an instance before committing to an
+    exact solve.
+    """
+    result = kernel.astar_bits(
+        instance,
+        budget=node_budget,
+        return_schedule=False,
+        on_exhausted="bound",
+    )
+    if result.complete:
+        # search finished within budget: the cost is exact
+        return result.cost, result.cost
+    lower = max(
+        result.cost,
+        trivial_lower_bound(
+            instance.dag,
+            instance.model,
+            instance.red_limit,
+            epsilon=instance.epsilon,
+        ),
+    )
+    upper = upper_bound_naive(
+        instance.dag, instance.model, epsilon=instance.epsilon
+    )
+    return lower, max(lower, upper)
 
 
 def _as_float(x: Union[int, float]) -> float:

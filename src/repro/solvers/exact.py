@@ -1,19 +1,34 @@
 """Exact optimal pebbling via uniform-cost search over pebbling states.
 
-The state graph has one vertex per :class:`PebblingState` and one weighted
-edge per legal move; the optimal pebbling cost is the shortest distance
-from the empty board to any complete state.  Dijkstra over this graph is
+The state graph has one vertex per pebbling state and one weighted edge
+per legal move; the optimal pebbling cost is the shortest distance from
+the empty board to any complete state.  Dijkstra over this graph is
 exponential in general — the paper proves the problem NP-hard (Theorem 2)
 and PSPACE-complete in base [Demaine & Liu] — so this solver is the
 *ground-truth oracle for small instances* that every other component is
 calibrated against.
+
+Two engines implement the same contract:
+
+* ``engine="bits"`` (default): the shared bitmask kernel of
+  :mod:`repro.solvers.kernel` — integer states, integer costs, and a
+  dominance-pruning transposition table.  This is what raised the
+  feasible instance sizes; see ``tests/benchmarks/test_perf.py``.
+* ``engine="legacy"``: the original frozenset-based search over
+  :class:`~repro.core.state.PebblingState`, kept verbatim as the slow
+  reference implementation.  The golden-optima suite
+  (``tests/solvers/test_golden_optima.py``) pins that both engines return
+  identical optima on classic instances.
 
 Safe prunes applied (all cost-preserving, see the test-suite):
 
 * blue pebbles are never deleted (a blue pebble occupies no red slot and
   never blocks a move, so removing it can only destroy options);
 * zero-cost moves are explored first through the priority queue ordering,
-  which keeps the frontier small on gadget DAGs.
+  which keeps the frontier small on gadget DAGs;
+* (bits engine) dominance: a popped state is skipped when a settled state
+  with the same blue/computed sets, a red superset, and no worse cost
+  exists — see the safety argument in :mod:`repro.solvers.kernel`.
 
 For the base model, optimal pebblings may be superpolynomially long
 (Section 4) but never *cheaper* than shorter ones below any fixed budget;
@@ -29,14 +44,22 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.bitstate import iter_bits
 from ..core.dag import ComputationDAG
 from ..core.errors import BudgetExceededError, SolverError
 from ..core.instance import PebblingInstance
 from ..core.moves import Move
 from ..core.schedule import Schedule
 from ..core.state import PebblingState, apply_move, legal_moves
+from . import kernel
 
-__all__ = ["OptimalResult", "solve_optimal", "decide_pebbling"]
+__all__ = [
+    "OptimalResult",
+    "solve_optimal",
+    "solve_optimal_legacy",
+    "decide_pebbling",
+    "compcost_heuristic",
+]
 
 
 @dataclass(frozen=True)
@@ -86,12 +109,37 @@ def compcost_heuristic(state: PebblingState, instance: PebblingInstance) -> Frac
     return eps * missing
 
 
+def _compile_compcost(ex: "kernel._Expander") -> Callable[[int, int, int], int]:
+    """Bit-native form of :func:`compcost_heuristic` for the kernel."""
+    layout = ex.layout
+    compute_i = ex.compute_i
+    nonsource_mask = layout.full_mask & ~layout.source_mask
+    sink_bits = tuple(iter_bits(layout.sink_mask))
+    closures = tuple(layout.ancestor_closure_of_sink(s) for s in sink_bits)
+
+    def h(red: int, blue: int, computed: int) -> int:
+        if compute_i == 0:
+            return 0
+        pebbled = red | blue
+        needed = 0
+        for s, closure in zip(sink_bits, closures):
+            if not pebbled >> s & 1:
+                needed |= closure
+        return compute_i * (needed & ~computed & nonsource_mask).bit_count()
+
+    return h
+
+
+kernel.register_bit_heuristic(compcost_heuristic, _compile_compcost)
+
+
 def solve_optimal(
     instance: PebblingInstance,
     *,
     budget: int = 2_000_000,
     return_schedule: bool = True,
     heuristic: Optional[Heuristic] = None,
+    engine: str = "bits",
 ) -> OptimalResult:
     """Find an optimal pebbling by (heuristic-guided) uniform-cost search.
 
@@ -107,13 +155,53 @@ def solve_optimal(
         parent pointers; disable for pure cost queries on larger searches).
     heuristic:
         Optional admissible heuristic ``h(state, instance)`` turning the
-        search into A*.  :func:`compcost_heuristic` is provided.
+        search into A*.  :func:`compcost_heuristic` is provided (and runs
+        bit-natively under the default engine).
+    engine:
+        ``"bits"`` for the shared bitmask kernel (default), ``"legacy"``
+        for the frozenset reference implementation.
 
     Notes
     -----
     The search frontier never contains a state twice with a worse key, and
     states are closed permanently at their first pop (correct because all
     move costs are non-negative).
+    """
+    if engine == "legacy":
+        return solve_optimal_legacy(
+            instance,
+            budget=budget,
+            return_schedule=return_schedule,
+            heuristic=heuristic,
+        )
+    if engine != "bits":
+        raise ValueError(f"unknown engine {engine!r}; expected 'bits' or 'legacy'")
+    result = kernel.astar_bits(
+        instance,
+        budget=budget,
+        return_schedule=return_schedule,
+        heuristic=heuristic,
+    )
+    return OptimalResult(
+        result.cost,
+        kernel.moves_to_schedule(result.moves),
+        result.expanded,
+        result.generated,
+    )
+
+
+def solve_optimal_legacy(
+    instance: PebblingInstance,
+    *,
+    budget: int = 2_000_000,
+    return_schedule: bool = True,
+    heuristic: Optional[Heuristic] = None,
+) -> OptimalResult:
+    """The original frozenset-based search, kept as the reference oracle.
+
+    Same contract as :func:`solve_optimal`.  Differential and golden tests
+    compare the two engines; use this path when debugging the kernel —
+    states print as readable node sets.
     """
     dag: ComputationDAG = instance.dag
     costs = instance.costs

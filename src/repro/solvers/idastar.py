@@ -7,6 +7,14 @@ depth-first search with iterative threshold deepening — so the two can
 cross-check each other in the test-suite: a bug in either search would
 have to be mirrored in the other to go unnoticed.
 
+Both solvers now run on the shared bitmask kernel
+(:mod:`repro.solvers.kernel`): this module contributes the deepening
+*strategy* (:func:`repro.solvers.kernel.idastar_bits`), while state
+encoding, cost scaling and successor generation are the kernel's.  The
+strategies stay independent where it matters — IDA* uses no priority
+queue, no global closed set, and no dominance table, so a bug in any of
+those A*-side structures cannot leak into this solver.
+
 Implementation notes: zero-cost moves (computes/deletes) are common, so a
 naive IDA* would loop within a threshold.  Each deepening iteration
 therefore keeps a ``best_g`` memo per state and only expands a state when
@@ -17,15 +25,10 @@ the Dijkstra solver.
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-from ..core.dag import ComputationDAG
-from ..core.errors import BudgetExceededError, SolverError
 from ..core.instance import PebblingInstance
-from ..core.moves import Move
-from ..core.schedule import Schedule
-from ..core.state import PebblingState, apply_move, legal_moves
+from . import kernel
 from .exact import Heuristic, OptimalResult
 
 __all__ = ["solve_optimal_idastar"]
@@ -45,81 +48,16 @@ def solve_optimal_idastar(
     whichever fits the instance — this one trades the priority queue for
     repeated bounded DFS sweeps (less memory on deep, narrow searches).
     """
-    dag: ComputationDAG = instance.dag
-    costs = instance.costs
-    red_limit = instance.red_limit
-    start = PebblingState.initial()
-
-    if start.is_complete(dag):
-        return OptimalResult(Fraction(0), Schedule(), 0, 0)
-
-    h0 = heuristic(start, instance) if heuristic else Fraction(0)
-    threshold = h0
-    expanded_total = 0
-    generated_total = 0
-
-    for _ in range(max_iterations):
-        best_g: Dict[PebblingState, Fraction] = {start: Fraction(0)}
-        parents: Dict[PebblingState, Tuple[PebblingState, Move]] = {}
-        next_threshold: Optional[Fraction] = None
-        # explicit stack: (state, g)
-        stack: List[Tuple[PebblingState, Fraction]] = [(start, Fraction(0))]
-        goal: Optional[Tuple[PebblingState, Fraction]] = None
-
-        while stack:
-            state, g = stack.pop()
-            if g > best_g.get(state, g):
-                continue  # a cheaper path to this state was found later
-            if state.is_complete(dag):
-                if goal is None or g < goal[1]:
-                    goal = (state, g)
-                continue
-            expanded_total += 1
-            if expanded_total > budget:
-                raise BudgetExceededError(budget)
-            for move in legal_moves(state, dag, costs, red_limit):
-                nxt, cost = apply_move(state, move, dag, costs, red_limit)
-                ng = g + cost
-                nh = heuristic(nxt, instance) if heuristic else Fraction(0)
-                f = ng + nh
-                if f > threshold:
-                    if next_threshold is None or f < next_threshold:
-                        next_threshold = f
-                    continue
-                if nxt in best_g and best_g[nxt] <= ng:
-                    continue
-                best_g[nxt] = ng
-                if return_schedule:
-                    parents[nxt] = (state, move)
-                generated_total += 1
-                stack.append((nxt, ng))
-
-        if goal is not None:
-            # the goal may have been reached non-optimally within this
-            # threshold only if some cheaper route was pruned — impossible:
-            # all routes with f <= threshold were explored exhaustively, and
-            # best_g keeps per-state minima, so goal[1] is optimal iff it
-            # does not exceed any pruned f.
-            if next_threshold is None or goal[1] <= next_threshold:
-                schedule = None
-                if return_schedule:
-                    schedule = _reconstruct(parents, goal[0])
-                return OptimalResult(
-                    goal[1], schedule, expanded_total, generated_total
-                )
-            # otherwise keep deepening: a pruned branch could be cheaper
-        if next_threshold is None:
-            raise SolverError("search space exhausted without a solution")
-        threshold = next_threshold
-
-    raise SolverError(f"no solution within {max_iterations} deepening rounds")
-
-
-def _reconstruct(parents, goal: PebblingState) -> Schedule:
-    moves: List[Move] = []
-    state = goal
-    while state in parents:
-        state, move = parents[state]
-        moves.append(move)
-    moves.reverse()
-    return Schedule(moves)
+    result = kernel.idastar_bits(
+        instance,
+        budget=budget,
+        return_schedule=return_schedule,
+        heuristic=heuristic,
+        max_iterations=max_iterations,
+    )
+    return OptimalResult(
+        result.cost,
+        kernel.moves_to_schedule(result.moves),
+        result.expanded,
+        result.generated,
+    )

@@ -1,0 +1,169 @@
+"""Differential tests: the bitmask engine must agree with the legacy one.
+
+Hypothesis generates random DAGs, models, red limits and move sequences,
+and every property asserts that :mod:`repro.core.bitstate` and the legacy
+:mod:`repro.core.state` implementations agree bit-for-bit on
+
+* move legality (same legal-move sets, same rejection error types),
+* resulting states (decode(bit step) == legacy step, and re-encoding
+  round-trips),
+* costs,
+* hash/equality semantics (state equality iff bit-encoding equality,
+  equal states hash equally).
+
+The walks draw moves from the *unpruned* legal-move enumeration so Delete
+on blue pebbles and every model-specific corner is exercised too.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    ComputationDAG,
+    IllegalMoveError,
+    PebblingState,
+    apply_move,
+    apply_move_bits,
+    bit_layout,
+    cost_model_for,
+    legal_moves,
+    legal_moves_bits,
+)
+from repro.core.bitstate import BitState
+from repro.core.moves import MOVE_KINDS
+
+MODELS = ("base", "oneshot", "nodel", "compcost")
+
+#: every property must clear at least this many examples (ISSUE 2 demands
+#: >= 200); keep deadline off — the first example pays bit-layout caching.
+DIFF_SETTINGS = dict(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def scenarios(draw):
+    """A random (dag, costs, red_limit) triple, small enough to exhaust."""
+    n = draw(st.integers(min_value=1, max_value=7))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = []
+    indeg = [0] * n
+    for (u, v) in pairs:
+        if indeg[v] < 3 and draw(st.booleans()):
+            chosen.append((u, v))
+            indeg[v] += 1
+    dag = ComputationDAG(edges=chosen, nodes=range(n))
+    costs = cost_model_for(draw(st.sampled_from(MODELS)))
+    red_limit = dag.max_indegree + 1 + draw(st.integers(min_value=0, max_value=2))
+    return dag, costs, red_limit
+
+
+def walk(data, dag, costs, red_limit, steps):
+    """Random-walk both engines in lockstep, asserting agreement throughout.
+
+    Returns the list of (legacy_state, bit_state) pairs visited.
+    """
+    layout = bit_layout(dag)
+    state = PebblingState.initial()
+    bits = BitState.initial()
+    visited = [(state, bits)]
+    for _ in range(steps):
+        legal = sorted(
+            legal_moves(state, dag, costs, red_limit, prune_delete_blue=False)
+        )
+        legal_b = sorted(
+            legal_moves_bits(layout, bits, costs, red_limit, prune_delete_blue=False)
+        )
+        assert legal == legal_b, "legal-move sets diverge"
+        if not legal:
+            break
+        move = legal[data.draw(st.integers(0, len(legal) - 1), label="move")]
+        state, cost = apply_move(state, move, dag, costs, red_limit)
+        bits, cost_b = apply_move_bits(layout, bits, move, costs, red_limit)
+        assert cost == cost_b, f"cost diverges on {move}"
+        visited.append((state, bits))
+    return visited
+
+
+class TestWalkAgreement:
+    @settings(**DIFF_SETTINGS)
+    @given(scenario=scenarios(), data=st.data())
+    def test_states_costs_and_legality_agree(self, scenario, data):
+        dag, costs, red_limit = scenario
+        layout = bit_layout(dag)
+        for state, bits in walk(data, dag, costs, red_limit, steps=25):
+            assert layout.decode_state(bits) == state
+            assert layout.encode_state(state) == bits
+            assert state.to_bits(layout) == bits
+            assert PebblingState.from_bits(layout, bits) == state
+
+    @settings(**DIFF_SETTINGS)
+    @given(scenario=scenarios(), data=st.data())
+    def test_invariants_hold_along_walks(self, scenario, data):
+        dag, costs, red_limit = scenario
+        layout = bit_layout(dag)
+        for state, bits in walk(data, dag, costs, red_limit, steps=20):
+            state.check_invariants(dag)
+            bits.check_invariants(layout)
+            assert bits.is_complete(layout) == state.is_complete(dag)
+            assert state.red.issubset(state.computed | state.blue | state.red)
+            # red-count agreement feeds the capacity rule
+            assert bits.red.bit_count() == len(state.red)
+
+
+class TestIllegalMoveAgreement:
+    @settings(**DIFF_SETTINGS)
+    @given(scenario=scenarios(), data=st.data())
+    def test_arbitrary_moves_accepted_or_rejected_identically(self, scenario, data):
+        dag, costs, red_limit = scenario
+        layout = bit_layout(dag)
+        state, bits = walk(data, dag, costs, red_limit, steps=12)[-1]
+        for _ in range(8):
+            kind = MOVE_KINDS[data.draw(st.integers(0, 3), label="kind")]
+            node = data.draw(
+                st.integers(-1, dag.n_nodes - 1), label="node"
+            )  # -1 = not in the DAG
+            move = kind(node)
+            legacy_outcome = bit_outcome = None
+            try:
+                legacy_outcome = apply_move(state, move, dag, costs, red_limit)
+            except IllegalMoveError as err:  # includes all subclasses
+                legacy_err = type(err)
+            try:
+                bit_outcome = apply_move_bits(layout, bits, move, costs, red_limit)
+            except IllegalMoveError as err:
+                bit_err = type(err)
+            assert (legacy_outcome is None) == (bit_outcome is None)
+            if legacy_outcome is None:
+                assert legacy_err is bit_err, "error types diverge"
+            else:
+                new_state, cost = legacy_outcome
+                new_bits, cost_b = bit_outcome
+                assert cost == cost_b
+                assert layout.decode_state(new_bits) == new_state
+
+
+class TestHashEqualitySemantics:
+    @settings(**DIFF_SETTINGS)
+    @given(scenario=scenarios(), data=st.data())
+    def test_state_equality_iff_bit_equality(self, scenario, data):
+        dag, costs, red_limit = scenario
+        layout = bit_layout(dag)
+        walk_a = walk(data, dag, costs, red_limit, steps=12)
+        walk_b = walk(data, dag, costs, red_limit, steps=12)
+        for state_a, bits_a in walk_a:
+            for state_b, bits_b in walk_b:
+                assert (state_a == state_b) == (bits_a == bits_b)
+                if state_a == state_b:
+                    assert hash(state_a) == hash(state_b)
+                    assert hash(bits_a) == hash(bits_b)
+
+    @settings(**DIFF_SETTINGS)
+    @given(scenario=scenarios(), data=st.data())
+    def test_dedup_containers_agree(self, scenario, data):
+        """Search correctness rests on dict/set dedup: both encodings must
+        collapse a walk to the same number of distinct states."""
+        dag, costs, red_limit = scenario
+        pairs = walk(data, dag, costs, red_limit, steps=25)
+        assert len({s for s, _ in pairs}) == len({b for _, b in pairs})

@@ -41,10 +41,10 @@ class TestBenchRun:
         )
         assert code == 0
         results = run_results_from_json(out_json.read_text())
-        assert len(results) == 8 and all(r.ok for r in results)
+        assert len(results) == 12 and all(r.ok for r in results)
         assert run_results_from_csv(out_csv.read_text()) == results
         assert "smoke: cost by method" in out
-        assert "8 ok" in out
+        assert "12 ok" in out
 
     def test_parallel_with_cache(self, tmp_path, capsys):
         cache = tmp_path / "cache"
@@ -58,7 +58,7 @@ class TestBenchRun:
             "--cache-dir", str(cache), "--quiet",
         )
         assert code == 0
-        assert "8 cached" in out
+        assert "12 cached" in out
 
     def test_unknown_spec_exits(self, capsys):
         with pytest.raises(SystemExit):

@@ -9,6 +9,7 @@ from repro.generators import butterfly_dag, chain_dag, matmul_dag, pyramid_dag
 from repro.heuristics import topological_schedule
 from repro.solvers import (
     compcost_lower_bound,
+    exhaustive_cost_bounds,
     feasible,
     fft_io_lower_bound,
     matmul_io_lower_bound,
@@ -134,6 +135,30 @@ class TestHongKungCurves:
             matmul_io_lower_bound(0, 4)
         with pytest.raises(ValueError):
             fft_io_lower_bound(1, 4)
+
+    def test_exhaustive_bounds_exact_when_search_finishes(self):
+        dag = pyramid_dag(2)
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+        lower, upper = exhaustive_cost_bounds(inst, node_budget=100_000)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        assert lower == upper == opt
+
+    def test_exhaustive_bounds_bracket_on_truncated_search(self):
+        dag = pyramid_dag(3)
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+        lower, upper = exhaustive_cost_bounds(inst, node_budget=50)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        assert lower <= opt <= upper
+        assert upper == upper_bound_naive(dag, "oneshot")
+
+    @pytest.mark.parametrize("model", ["base", "oneshot", "nodel", "compcost"])
+    def test_exhaustive_lower_end_never_exceeds_optimum(self, model):
+        dag = pyramid_dag(2)
+        inst = PebblingInstance(dag=dag, model=model, red_limit=3)
+        opt = solve_optimal(inst, return_schedule=False).cost
+        for budget in (1, 10, 100, 10_000):
+            lower, upper = exhaustive_cost_bounds(inst, node_budget=budget)
+            assert lower <= opt <= upper
 
     def test_measured_cost_respects_matmul_shape(self):
         """Measured heuristic cost on matmul DAGs should sit above the

@@ -1,0 +1,139 @@
+"""Golden regression tests: pinned exact optima for classic instances.
+
+The numbers below were produced by the legacy frozenset solver (the
+pre-bitmask reference implementation) and hand-checked against the
+paper's formulas where one exists (pyramids, the Figure 3/4 tradeoff
+gadget, H2C).  Every entry is asserted against
+
+* the bitmask kernel (``solve_optimal``, the default engine),
+* the legacy reference (``solve_optimal_legacy``), and
+* iterative-deepening A* (``solve_optimal_idastar``),
+
+so any kernel bug — dominance pruning, cost scaling, successor
+generation — shows up as a *value diff* against a committed constant, not
+just as a cross-check failure that could in principle be a shared bug.
+
+Costs are compared as exact :class:`fractions.Fraction` values parsed
+from the pinned strings (byte-identical across engines by construction:
+``Fraction.__eq__`` is exact).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PebblingInstance, validate_schedule
+from repro.gadgets import h2c_dag
+from repro.gadgets.tradeoff import tradeoff_dag
+from repro.generators import (
+    binary_tree_dag,
+    chain_dag,
+    grid_stencil_dag,
+    pyramid_dag,
+)
+from repro.solvers import (
+    solve_optimal,
+    solve_optimal_idastar,
+    solve_optimal_legacy,
+)
+
+
+def _h2c(r):
+    dag, _ = h2c_dag(r)
+    return dag
+
+
+_FACTORIES = {
+    "pyramid:2": lambda: pyramid_dag(2),
+    "pyramid:3": lambda: pyramid_dag(3),
+    "tree:4": lambda: binary_tree_dag(4),
+    "chain:8": lambda: chain_dag(8),
+    "grid:3x3": lambda: grid_stencil_dag(3, 3),
+    "h2c:4": lambda: _h2c(4),
+    "tradeoff:2x6": lambda: tradeoff_dag(2, 6).dag,
+}
+
+#: (dag, model, red_limit, optimal cost) — regenerate with
+#: solve_optimal_legacy; do NOT update casually: a changed value means a
+#: solver regression until proven otherwise.
+GOLDEN = [
+    # the [GLT79] pyramid: gentle cost growth as R shrinks (Section 3)
+    ("pyramid:2", "base", 3, "2"),
+    ("pyramid:2", "oneshot", 3, "2"),
+    ("pyramid:2", "nodel", 3, "5"),
+    ("pyramid:2", "compcost", 3, "103/50"),
+    ("pyramid:2", "base", 4, "0"),
+    ("pyramid:2", "oneshot", 4, "0"),
+    ("pyramid:2", "nodel", 4, "2"),
+    ("pyramid:2", "compcost", 4, "3/50"),
+    ("pyramid:2", "base", 5, "0"),
+    ("pyramid:2", "oneshot", 5, "0"),
+    ("pyramid:2", "nodel", 5, "1"),
+    ("pyramid:2", "compcost", 5, "3/50"),
+    ("pyramid:3", "oneshot", 3, "6"),
+    ("pyramid:3", "oneshot", 4, "2"),
+    ("pyramid:3", "nodel", 4, "8"),
+    # reduction trees: free once R covers the spine
+    ("tree:4", "oneshot", 3, "2"),
+    ("tree:4", "oneshot", 4, "0"),
+    # chains: nodel must store all but R of the required nodes
+    ("chain:8", "nodel", 2, "6"),
+    ("chain:8", "nodel", 3, "5"),
+    ("chain:8", "oneshot", 2, "0"),
+    # wavefront stencil
+    ("grid:3x3", "oneshot", 3, "4"),
+    # the Hong-Kung-hard H2C gadget of Figure 2: 4 transfers per guarded
+    # node at R, halved with one spare slot (Section 3)
+    ("h2c:4", "base", 4, "4"),
+    ("h2c:4", "oneshot", 4, "4"),
+    ("h2c:4", "nodel", 4, "8"),
+    ("h2c:4", "compcost", 4, "102/25"),
+    ("h2c:4", "oneshot", 5, "2"),
+    # Figure 3/4 tradeoff gadget (d=2, n=6): 2(d-i)n exactly
+    ("tradeoff:2x6", "oneshot", 4, "16"),
+    ("tradeoff:2x6", "oneshot", 5, "8"),
+    ("tradeoff:2x6", "oneshot", 6, "0"),
+]
+
+_IDS = [f"{d}-{m}-R{r}" for d, m, r, _ in GOLDEN]
+
+
+@pytest.fixture(scope="module")
+def dags():
+    return {name: factory() for name, factory in _FACTORIES.items()}
+
+
+@pytest.mark.parametrize("dag_name,model,red_limit,expected", GOLDEN, ids=_IDS)
+class TestGoldenOptima:
+    def test_bitmask_engine_matches_golden(
+        self, dags, dag_name, model, red_limit, expected
+    ):
+        inst = PebblingInstance(
+            dag=dags[dag_name], model=model, red_limit=red_limit
+        )
+        result = solve_optimal(inst)
+        assert result.cost == Fraction(expected)
+        # the reconstructed schedule must be independently auditable
+        report = validate_schedule(inst, result.schedule)
+        assert report.ok, report.violations[:3]
+        assert report.cost == result.cost
+
+    def test_legacy_engine_matches_golden(
+        self, dags, dag_name, model, red_limit, expected
+    ):
+        inst = PebblingInstance(
+            dag=dags[dag_name], model=model, red_limit=red_limit
+        )
+        cost = solve_optimal_legacy(inst, return_schedule=False).cost
+        assert cost == Fraction(expected)
+
+    def test_idastar_matches_golden(
+        self, dags, dag_name, model, red_limit, expected
+    ):
+        inst = PebblingInstance(
+            dag=dags[dag_name], model=model, red_limit=red_limit
+        )
+        cost = solve_optimal_idastar(
+            inst, return_schedule=False, budget=20_000_000
+        ).cost
+        assert cost == Fraction(expected)

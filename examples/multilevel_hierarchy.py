@@ -60,6 +60,27 @@ def main() -> None:
     print("naively sinking to memory wastes it again "
           f"({c_far} vs {c_near}).")
 
+    # -- exact optima: how far is the parking baseline from optimal? -- #
+    from repro.generators import pyramid_dag
+    from repro.solvers import solve_multilevel_optimal
+
+    small = MultilevelInstance(
+        dag=pyramid_dag(3),
+        spec=HierarchySpec(
+            capacities=(3, 6, None), transfer_costs=(Fraction(1), Fraction(4))
+        ),
+    )
+    opt = solve_multilevel_optimal(small)
+    base = MultilevelSimulator(small).run(
+        multilevel_topological_schedule(small), require_complete=True
+    )
+    print()
+    print("exact optimum (pyramid height 3 on L1(3) | L2(6) | memory):")
+    print(f"    optimal = {opt.cost} in {opt.length} moves "
+          f"({opt.expanded} states expanded)")
+    print(f"    parking baseline = {base.cost} "
+          f"({float(base.cost / opt.cost):.1f}x the optimum)")
+
 
 if __name__ == "__main__":
     main()

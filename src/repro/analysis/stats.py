@@ -39,9 +39,10 @@ class ScheduleStats:
     working_set:
         Number of red pebbles after every move.
     reuse_distances:
-        For each (Load/Compute) *use* of a value as an input, the number
-        of moves since that value was last used as an input; first uses
-        are excluded.
+        For each (Load/Compute) *use* of a value — a Compute consuming it
+        as an input, or a Load re-acquiring it into fast memory — the
+        number of moves since that value was last used; first uses are
+        excluded.
     hottest_nodes:
         Nodes sorted by transfer count, descending (top 10).
     """
@@ -96,6 +97,12 @@ def schedule_stats(
                 if p in last_input_use:
                     reuse.append(i - last_input_use[p])
                 last_input_use[p] = i
+        if isinstance(move, Load):
+            # a Load re-acquires the value into fast memory: that is a use
+            # of the value too (the docstring's "(Load/Compute) uses")
+            if move.node in last_input_use:
+                reuse.append(i - last_input_use[move.node])
+            last_input_use[move.node] = i
         if isinstance(move, (Load, Store)):
             transfers[move.node] = transfers.get(move.node, 0) + 1
         state, cost = sim.step(state, move, i)

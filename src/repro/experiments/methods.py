@@ -25,6 +25,19 @@ name                     behaviour
                          structurally independent second exact solver)
 ``tradeoff-opt``         the provably optimal Figure 3/4 alternating
                          strategy (requires a ``tradeoff:DxN`` DAG spec)
+``ml:exact``             optimal cost of the *multi-level* game
+                         (:mod:`repro.multilevel`) via the packed-state
+                         solver; the default hierarchy is the 2-level
+                         ``(R, unbounded)`` with unit transfer costs, i.e.
+                         the red-blue base game
+``ml:topo``              the multi-level naive topological baseline on the
+                         same default hierarchy
+``ml:exact:hier:...``    either of the above on an explicit hierarchy
+``ml:topo:hier:...``     (``hier:C1,..:T1,..[:cEPS]`` — the
+                         :func:`repro.generators.hierarchy_from_spec`
+                         grammar; the task's R and model are then ignored:
+                         the multi-level game prices moves by the
+                         hierarchy alone)
 ``sleep:SECONDS``        test/diagnostic hook: sleeps, then reports cost 0
 =======================  ====================================================
 """
@@ -188,6 +201,41 @@ def _run_tradeoff_opt(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
     )
 
 
+def _run_multilevel(kind: str, hier: Optional[str]) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..generators.specs import hierarchy_from_spec
+        from ..multilevel import (
+            HierarchySpec,
+            MultilevelInstance,
+            MultilevelSimulator,
+            multilevel_topological_schedule,
+        )
+
+        if hier is not None:
+            spec = hierarchy_from_spec(hier)
+        else:
+            spec = HierarchySpec(
+                capacities=(inst.red_limit, None), transfer_costs=(Fraction(1),)
+            )
+        ml = MultilevelInstance(dag=inst.dag, spec=spec)
+        caps = ",".join("inf" if c is None else str(c) for c in spec.capacities)
+        extra = {"levels": str(spec.levels), "capacities": caps}
+        if kind == "exact":
+            from ..solvers.multilevel import solve_multilevel_optimal
+
+            result = solve_multilevel_optimal(ml, return_schedule=True)
+            extra["expanded"] = str(result.expanded)
+            return MethodOutcome(
+                cost=result.cost, n_moves=result.length, extra=extra
+            )
+        sched = multilevel_topological_schedule(ml)
+        res = MultilevelSimulator(ml).run(sched, require_complete=True)
+        extra["peak_usage"] = ",".join(map(str, res.peak_usage))
+        return MethodOutcome(cost=res.cost, n_moves=res.steps, extra=extra)
+
+    return run
+
+
 def _run_sleep(seconds: float) -> MethodFn:
     def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
         time.sleep(seconds)
@@ -204,6 +252,8 @@ _FIXED: Dict[str, MethodFn] = {
     "idastar": _run_idastar,
     "tradeoff-opt": _run_tradeoff_opt,
     "local-search": _run_local_search(2000),
+    "ml:exact": _run_multilevel("exact", None),
+    "ml:topo": _run_multilevel("topo", None),
 }
 
 _GREEDY_RULES = ("most-red-inputs", "fewest-blue-inputs", "red-ratio")
@@ -215,6 +265,13 @@ def resolve_method(name: str) -> MethodFn:
         return _FIXED[name]
     head, sep, arg = name.partition(":")
     if sep:
+        if head == "ml":
+            sub, sep2, hier = arg.partition(":")
+            if sub in ("exact", "topo") and sep2 and hier.startswith("hier:"):
+                from ..generators.specs import hierarchy_from_spec
+
+                hierarchy_from_spec(hier)  # malformed specs must fail fast here
+                return _run_multilevel(sub, hier)
         if head == "greedy" and arg in _GREEDY_RULES:
             return _run_greedy(arg)
         if head == "fixed-order":
@@ -234,4 +291,10 @@ def method_names() -> "list[str]":
     """Representative method names (parametrised families shown generically)."""
     return sorted(_FIXED) + [
         "greedy:" + r for r in _GREEDY_RULES
-    ] + ["fixed-order:belady|lru|min-uses|randomN", "beam:WIDTH", "local-search:EVALS", "sleep:SECONDS"]
+    ] + [
+        "fixed-order:belady|lru|min-uses|randomN",
+        "beam:WIDTH",
+        "local-search:EVALS",
+        "ml:exact|topo:hier:CAPS:COSTS",
+        "sleep:SECONDS",
+    ]

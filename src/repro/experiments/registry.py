@@ -126,6 +126,24 @@ BUILTIN_SPECS = (
         tags=("paper", "tradeoff", "fast"),
     ),
     ExperimentSpec(
+        name="multilevel-smoke",
+        description=(
+            "Multi-level game smoke: packed-state exact solver vs the parking "
+            "baseline on 2- and 3-level hierarchies (ml:exact on the default "
+            "2-level hierarchy must match plain exact on the base model)"
+        ),
+        dags=("pyramid:3#r3", "chain:6#r2"),
+        models=("base",),
+        methods=(
+            "ml:exact",
+            "ml:topo",
+            "ml:exact:hier:3,6:1,4",
+            "ml:topo:hier:3,6:1,4",
+            "exact",
+        ),
+        tags=("ci", "fast", "multilevel"),
+    ),
+    ExperimentSpec(
         name="beam-ablation",
         description="Ablation: beam width vs optimality on classic kernels",
         dags=("pyramid:3#r3", "grid:4x4#r3"),

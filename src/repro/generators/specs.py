@@ -21,9 +21,27 @@ Supported specs
 ``tradeoff:DxN``         Figure 3 tradeoff gadget (groups of size D,
                          chain of length N)
 ``@path.json``           DAG loaded from a JSON file
+
+Hierarchy specs
+---------------
+:func:`hierarchy_from_spec` parses the analogous one-line grammar for
+multi-level memory hierarchies (:class:`repro.multilevel.HierarchySpec`):
+
+``hier:C1,...,Ck:T1,...,Tk[:cEPS]``
+
+names the capacities of the k *bounded* levels, fastest first (the final
+unbounded level is implicit), one transfer cost per boundary, and an
+optional compute cost.  ``hier:4,16:1,8`` is a three-level hierarchy —
+capacities (4, 16, unbounded), boundary costs 1 and 8 — and
+``hier:3:1:c1/100`` a two-level one with priced computation.  The
+``ml:*`` experiment methods embed this grammar in their method names, so
+a hierarchy travels through the declarative grid (and the result cache
+key) as a plain string.
 """
 
 from __future__ import annotations
+
+from fractions import Fraction
 
 from ..core.dag import ComputationDAG
 from .classic import (
@@ -37,7 +55,7 @@ from .classic import (
 )
 from .random_dags import layered_random_dag
 
-__all__ = ["dag_from_spec"]
+__all__ = ["dag_from_spec", "hierarchy_from_spec"]
 
 
 def _pair(arg: str, spec: str) -> "tuple[int, int]":
@@ -92,3 +110,42 @@ def dag_from_spec(spec: str) -> ComputationDAG:
     except ValueError as exc:
         raise ValueError(f"bad DAG spec {spec!r}: {exc}") from None
     raise ValueError(f"unknown DAG spec {spec!r}")
+
+
+def hierarchy_from_spec(spec: str):
+    """Build the :class:`~repro.multilevel.HierarchySpec` named by ``spec``.
+
+    Grammar: ``hier:C1,...,Ck:T1,...,Tk[:cEPS]`` — see the module
+    docstring.  Costs parse as exact fractions (``1/2`` is valid).
+    """
+    from ..multilevel.game import HierarchySpec
+
+    kind, _, arg = spec.partition(":")
+    if kind != "hier":
+        raise ValueError(f"bad hierarchy spec {spec!r}: expected 'hier:...'")
+    parts = arg.split(":")
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise ValueError(
+            f"bad hierarchy spec {spec!r}: need 'hier:CAPACITIES:TRANSFER-COSTS'"
+        )
+    try:
+        capacities = tuple(int(c) for c in parts[0].split(","))
+        transfer_costs = tuple(Fraction(t) for t in parts[1].split(","))
+        compute_cost = Fraction(0)
+        for opt in parts[2:]:
+            if opt.startswith("c"):
+                compute_cost = Fraction(opt[1:])
+            else:
+                raise ValueError(f"unknown hierarchy option {opt!r}")
+        if len(transfer_costs) != len(capacities):
+            raise ValueError(
+                f"{len(capacities)} bounded level(s) need exactly "
+                f"{len(capacities)} transfer cost(s), got {len(transfer_costs)}"
+            )
+        return HierarchySpec(
+            capacities=capacities + (None,),
+            transfer_costs=transfer_costs,
+            compute_cost=compute_cost,
+        )
+    except (ValueError, ZeroDivisionError) as exc:
+        raise ValueError(f"bad hierarchy spec {spec!r}: {exc}") from None

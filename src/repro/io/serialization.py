@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Any, Iterable, List
 
 from ..core.dag import ComputationDAG, Node
 from ..core.instance import PebblingInstance
-from ..core.models import Model
+from ..core.models import DEFAULT_EPSILON, Model
 from ..core.moves import move_from_tuple
 from ..core.schedule import Schedule
 
@@ -114,7 +114,9 @@ def instance_from_json(text: str) -> PebblingInstance:
         model=Model.parse(payload["model"]),
         red_limit=int(payload["red_limit"]),
         cost_budget=Fraction(budget) if budget is not None else None,
-        epsilon=Fraction(payload.get("epsilon", "1/100")),
+        # absent epsilon falls back to the model default, not a literal
+        # copy of its current value (the two must never drift apart)
+        epsilon=Fraction(payload.get("epsilon", DEFAULT_EPSILON)),
     )
 
 

@@ -1,0 +1,195 @@
+"""Bitmask encoding of multi-level pebbling states — the fast path.
+
+The multi-level game (:mod:`repro.multilevel.game`) was the last
+subsystem still running entirely on frozensets: a
+:class:`~repro.multilevel.game.MultilevelState` is a tuple of per-level
+``frozenset``s and every :meth:`MultilevelSimulator.step` allocates L
+fresh sets.  This module is the multi-level twin of
+:mod:`repro.core.bitstate`: it reuses the same cached
+:class:`~repro.core.bitstate.BitLayout` (node <-> bit index, parent
+masks) and represents a board as a *tuple of ints, one mask per memory
+level*.  A value occupies at most one level, so the masks are pairwise
+disjoint; "all inputs of v sit in fastest memory" is one AND against
+``masks[0]``.
+
+Conversion boundary
+-------------------
+:class:`MultilevelState` stays the public API.  Code converts at the
+edge via :func:`encode_ml_state` / :func:`decode_ml_state`, runs its hot
+loop on mask tuples, and decodes at the end.  :func:`apply_ml_move_bits`
+mirrors :meth:`MultilevelSimulator.step` move-for-move — same legality
+rules, same error types and messages, same costs — and
+:func:`legal_ml_moves_bits` enumerates exactly the moves ``step`` would
+accept; the differential suite
+(``tests/multilevel/test_bitgame_differential.py``) pins the equivalence
+with hypothesis-generated DAGs, hierarchies and move walks.
+
+When debugging, prefer the legacy stepper (``MultilevelSimulator.step``
+directly): states print as readable per-level node sets.  The mask path
+is what :meth:`MultilevelSimulator.run` and
+:func:`repro.solvers.multilevel.solve_multilevel_optimal` execute.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator, Tuple
+
+from ..core.bitstate import BitLayout, iter_bits
+from ..core.errors import IllegalMoveError
+from .game import HierarchySpec, MLCompute, MLDelete, MLMove, MultilevelState
+
+__all__ = [
+    "MLBitState",
+    "initial_ml_state",
+    "encode_ml_state",
+    "decode_ml_state",
+    "apply_ml_move_bits",
+    "legal_ml_moves_bits",
+    "ml_state_complete",
+]
+
+#: a multi-level board: one bitmask per memory level, fastest first.
+#: The masks are pairwise disjoint (a value occupies at most one level).
+MLBitState = Tuple[int, ...]
+
+
+def initial_ml_state(n_levels: int) -> MLBitState:
+    """The empty board for an ``n_levels``-deep hierarchy."""
+    return (0,) * n_levels
+
+
+def encode_ml_state(layout: BitLayout, state: MultilevelState) -> MLBitState:
+    """Encode a :class:`MultilevelState` as per-level masks."""
+    return tuple(layout.encode_set(s) for s in state.levels)
+
+
+def decode_ml_state(layout: BitLayout, masks: MLBitState) -> MultilevelState:
+    """Decode per-level masks back to a :class:`MultilevelState`."""
+    return MultilevelState([layout.decode_set(m) for m in masks])
+
+
+def ml_state_complete(layout: BitLayout, masks: MLBitState) -> bool:
+    """Every sink holds a pebble at some level."""
+    pebbled = 0
+    for m in masks:
+        pebbled |= m
+    return layout.sink_mask & ~pebbled == 0
+
+
+def _level_of(masks: MLBitState, bit: int) -> "int | None":
+    for i, m in enumerate(masks):
+        if m & bit:
+            return i
+    return None
+
+
+def apply_ml_move_bits(
+    layout: BitLayout,
+    spec: HierarchySpec,
+    masks: MLBitState,
+    move,
+) -> Tuple[MLBitState, Fraction]:
+    """Bitmask twin of :meth:`MultilevelSimulator.step`.
+
+    Same legality rules, same error types and messages, same costs —
+    differential-tested against the frozenset referee.  Returns
+    ``(new_masks, cost)``.
+    """
+    if isinstance(move, MLCompute):
+        v = move.node
+        bit_index = layout.index.get(v)
+        if bit_index is None:
+            raise IllegalMoveError(move, "node not in DAG")
+        bit = 1 << bit_index
+        level0 = masks[0]
+        if level0 & bit:
+            raise IllegalMoveError(move, "node already in fastest memory")
+        if layout.parent_masks[bit_index] & ~level0:
+            missing = [
+                u
+                for u in layout.dag.predecessors(v)
+                if not level0 >> layout.index[u] & 1
+            ]
+            raise IllegalMoveError(
+                move, f"inputs not in fastest memory: {missing[:3]!r}"
+            )
+        cap = spec.capacities[0]
+        if cap is not None and level0.bit_count() + 1 > cap:
+            raise IllegalMoveError(move, f"level 0 capacity {cap} exceeded")
+        # computing pulls any existing pebble on v out of its level
+        new = [m & ~bit for m in masks]
+        new[0] = level0 | bit
+        return tuple(new), spec.compute_cost
+
+    if isinstance(move, MLMove):
+        v = move.node
+        bit_index = layout.index.get(v)
+        cur = _level_of(masks, 1 << bit_index) if bit_index is not None else None
+        if cur is None:
+            raise IllegalMoveError(move, "node holds no pebble")
+        bit = 1 << bit_index
+        to = move.to_level
+        if not (0 <= to < spec.levels):
+            raise IllegalMoveError(move, f"no such level {to}")
+        if abs(to - cur) != 1:
+            raise IllegalMoveError(move, f"levels {cur} -> {to} are not adjacent")
+        cap = spec.capacities[to]
+        if cap is not None and masks[to].bit_count() + 1 > cap:
+            raise IllegalMoveError(move, f"level {to} capacity {cap} exceeded")
+        new = list(masks)
+        new[cur] ^= bit
+        new[to] |= bit
+        return tuple(new), spec.transfer_costs[min(cur, to)]
+
+    if isinstance(move, MLDelete):
+        v = move.node
+        bit_index = layout.index.get(v)
+        cur = _level_of(masks, 1 << bit_index) if bit_index is not None else None
+        if cur is None:
+            raise IllegalMoveError(move, "node holds no pebble")
+        new = list(masks)
+        new[cur] ^= 1 << bit_index
+        return tuple(new), Fraction(0)
+
+    raise IllegalMoveError(move, f"unknown move {type(move).__name__}")
+
+
+def legal_ml_moves_bits(
+    layout: BitLayout,
+    spec: HierarchySpec,
+    masks: MLBitState,
+) -> Iterator:
+    """Enumerate exactly the moves :func:`apply_ml_move_bits` would accept.
+
+    Yields computes, then level moves, then deletes, each in ascending
+    bit order.  The exact solver does not call this — its expander
+    inlines a delete-normalized alphabet — but the differential tests and
+    any mask-native caller that needs real move objects do.
+    """
+    nodes = layout.nodes
+    level0 = masks[0]
+    cap0 = spec.capacities[0]
+    has_slot0 = cap0 is None or level0.bit_count() < cap0
+
+    if has_slot0:
+        parent_masks = layout.parent_masks
+        for i in iter_bits(layout.full_mask & ~level0):
+            if parent_masks[i] & ~level0 == 0:
+                yield MLCompute(nodes[i])
+
+    for j, mask in enumerate(masks):
+        if not mask:
+            continue
+        for to in (j - 1, j + 1):
+            if not 0 <= to < spec.levels:
+                continue
+            cap = spec.capacities[to]
+            if cap is not None and masks[to].bit_count() >= cap:
+                continue
+            for i in iter_bits(mask):
+                yield MLMove(nodes[i], to)
+
+    for j, mask in enumerate(masks):
+        for i in iter_bits(mask):
+            yield MLDelete(nodes[i])

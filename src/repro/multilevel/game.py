@@ -24,7 +24,11 @@ from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.dag import ComputationDAG, Node
-from ..core.errors import IllegalMoveError, IncompletePebblingError
+from ..core.errors import (
+    IllegalMoveError,
+    IncompletePebblingError,
+    InfeasibleInstanceError,
+)
 from ..core.instance import PebblingInstance
 from ..core.models import Model
 
@@ -202,15 +206,27 @@ class MultilevelInstance:
     spec: HierarchySpec
 
     def __post_init__(self):
+        # the same feasibility frontier as PebblingInstance (level 0 plays
+        # the role of R), reported with the same error type so experiment
+        # grids classify the cell as infeasible, not as a solver error
         if self.spec.capacities[0] < self.dag.max_indegree + 1:
-            raise ValueError(
-                f"level-0 capacity {self.spec.capacities[0]} cannot compute "
-                f"indegree-{self.dag.max_indegree} nodes"
+            raise InfeasibleInstanceError(
+                self.spec.capacities[0], self.dag.max_indegree
             )
 
 
 class MultilevelSimulator:
-    """Referee for the multi-level game (mirrors PebblingSimulator)."""
+    """Referee for the multi-level game (mirrors PebblingSimulator).
+
+    Schedule execution (:meth:`run`) operates natively on the per-level
+    bitmask encoding of :mod:`repro.multilevel.bitgame`: the board is a
+    tuple of ints for the whole run and only the final state is decoded
+    back to a :class:`MultilevelState`.  The stepping API (:meth:`step`)
+    keeps the frozenset transition — it takes and returns public
+    ``MultilevelState`` objects and preserves an independent
+    implementation of the rules at the API edge, which the differential
+    tests pin against the mask twin.
+    """
 
     def __init__(self, instance: MultilevelInstance):
         self.instance = instance
@@ -282,17 +298,24 @@ class MultilevelSimulator:
         return all(s in pebbled for s in self.dag.sinks)
 
     def run(self, schedule: Iterable, *, require_complete: bool = False):
-        state = self.initial_state()
+        from ..core.bitstate import bit_layout
+        from .bitgame import apply_ml_move_bits, decode_ml_state, initial_ml_state
+
+        spec = self.spec
+        layout = bit_layout(self.dag)
+        masks = initial_ml_state(spec.levels)
         total = Fraction(0)
-        peak = [len(s) for s in state.levels]
+        peak = [0] * spec.levels
         steps = 0
         for move in schedule:
-            state, cost = self.step(state, move)
+            masks, cost = apply_ml_move_bits(layout, spec, masks, move)
             total += cost
             steps += 1
-            for i, s in enumerate(state.levels):
-                if len(s) > peak[i]:
-                    peak[i] = len(s)
+            for i, m in enumerate(masks):
+                count = m.bit_count()
+                if count > peak[i]:
+                    peak[i] = count
+        state = decode_ml_state(layout, masks)
         complete = self.is_complete(state)
         if require_complete and not complete:
             missing = [s for s in self.dag.sinks if s not in state.pebbled()]

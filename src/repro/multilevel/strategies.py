@@ -2,9 +2,20 @@
 
 :func:`multilevel_topological_schedule` generalises the Section 3 naive
 baseline: walk a topological order; before computing v, bubble each input
-up to level 0 (paying each boundary once), compute, then sink everything
-back down one level past the working set.  It realises the multi-level
+up to level 0 (paying each boundary once), compute, then *park* the
+still-needed values back down at ``park_level`` — at most 2 * (Delta + 1)
+boundary crossings per hierarchy boundary per node, the multi-level
 analogue of the (2*Delta+1)*n bound with per-boundary costs.
+
+Two refinements keep the emitted schedules legal and tight:
+
+* values with no remaining consumers (and that are not sinks) are
+  *deleted* at level 0 instead of parked — without this, any bounded
+  ``park_level`` eventually overflows its capacity and the schedule is
+  illegal (the pre-fix behaviour; pinned by the regression tests);
+* a value needed again by the *immediately next* node in the order stays
+  at level 0 instead of being parked and re-bubbled — on a chain every
+  boundary crossing disappears entirely.
 """
 
 from __future__ import annotations
@@ -23,42 +34,84 @@ def multilevel_topological_schedule(
     *,
     park_level: Optional[int] = None,
 ) -> List:
-    """The naive strategy: everything parks at ``park_level`` (default:
-    the slowest level) between uses.
+    """The naive strategy: live values park at ``park_level`` (default:
+    the slowest level) between uses; dead values are deleted.
 
-    Per node: each input is bubbled up from the parking level to level 0
-    and back down, plus the node itself is computed and sunk — at most
-    2 * (Delta + 1) boundary crossings per hierarchy boundary per node.
-    Returns a flat move list runnable by
+    Raises :class:`ValueError` when ``park_level`` names a level whose
+    capacity cannot hold the strategy's live working set — a bounded park
+    level only works while the values still needed (plus already-produced
+    sinks) fit.  Returns a flat move list runnable by
     :class:`~repro.multilevel.game.MultilevelSimulator`.
     """
     dag = instance.dag
-    levels = instance.spec.levels
+    spec = instance.spec
+    levels = spec.levels
     park = park_level if park_level is not None else levels - 1
     if not (0 <= park < levels):
         raise ValueError(f"no such level {park}")
     order = list(order) if order is not None else list(dag.topological_order())
 
+    in_order = set(order)
+    remaining = {
+        v: sum(1 for w in dag.successors(v) if w in in_order) for v in in_order
+    }
+    sinks = dag.sinks
+
     moves: List = []
     computed = set()
+    position = {}  # value -> level currently holding its pebble
+    parked = 0  # pebbles resident at the park level
+    cap_park = spec.capacities[park]
 
-    def bubble_up(v: Node) -> None:
-        for lvl in range(park - 1, -1, -1):
+    def travel(v: Node, target: int) -> None:
+        cur = position[v]
+        step = 1 if target > cur else -1
+        for lvl in range(cur + step, target + step, step):
             moves.append(MLMove(v, lvl))
+        position[v] = target
 
-    def sink_down(v: Node) -> None:
-        for lvl in range(1, park + 1):
-            moves.append(MLMove(v, lvl))
-
-    for v in order:
+    for idx, v in enumerate(order):
         preds = dag.predecessors(v)
         for p in sorted(preds, key=repr):
             if p not in computed:
                 raise ValueError(f"order is not topological: {v!r} before {p!r}")
-            bubble_up(p)
+            if position[p] != 0:
+                travel(p, 0)
+                parked -= 1
+        if park == 0:
+            # everything lives at level 0: the compute slot must still fit
+            cap0 = spec.capacities[0]
+            occupancy = sum(1 for lvl in position.values() if lvl == 0)
+            if cap0 is not None and occupancy + 1 > cap0:
+                raise ValueError(
+                    f"park level 0 (capacity {cap0}) cannot hold the "
+                    f"{occupancy + 1} live values this schedule needs; "
+                    f"park deeper or enlarge the level"
+                )
         moves.append(MLCompute(v))
         computed.add(v)
-        sink_down(v)
-        for p in sorted(preds, key=repr):
-            sink_down(p)
+        position[v] = 0
+        for p in preds:
+            remaining[p] -= 1
+
+        if idx + 1 == len(order):
+            break  # nothing left to compute: every survivor stays put
+        next_inputs = frozenset(dag.predecessors(order[idx + 1]))
+        for u in [v] + sorted(preds, key=repr):
+            if remaining[u] == 0 and u not in sinks:
+                moves.append(MLDelete(u))
+                del position[u]
+            elif u in next_inputs:
+                pass  # reused immediately: skip the redundant park/bubble pair
+            elif park != 0:
+                # (park == 0 needs no move — survivors already sit at level
+                # 0, and its capacity is enforced at compute time above)
+                if cap_park is not None and parked + 1 > cap_park:
+                    raise ValueError(
+                        f"park level {park} (capacity {cap_park}) cannot hold "
+                        f"the {parked + 1} live values this schedule needs; "
+                        f"park deeper or enlarge the level"
+                    )
+                travel(u, park)
+                parked += 1
     return moves

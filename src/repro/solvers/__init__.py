@@ -4,6 +4,8 @@ The exact solvers (``solve_optimal``, ``solve_optimal_idastar``) and the
 ``exhaustive_cost_bounds`` helper all run on the shared bitmask search
 kernel in :mod:`repro.solvers.kernel`; ``solve_optimal_legacy`` keeps the
 original frozenset search as the reference oracle.
+``solve_multilevel_optimal`` extends the same packed-state machinery to
+the multi-level game of :mod:`repro.multilevel`.
 """
 
 from .bounds import (
@@ -25,6 +27,11 @@ from .exact import (
     solve_optimal_legacy,
 )
 from .idastar import solve_optimal_idastar
+from .multilevel import (
+    MultilevelOptimalResult,
+    multilevel_cost_bounds,
+    solve_multilevel_optimal,
+)
 from .group import (
     brute_force_min_order,
     held_karp_min_order,
@@ -36,6 +43,9 @@ __all__ = [
     "solve_optimal",
     "solve_optimal_legacy",
     "solve_optimal_idastar",
+    "solve_multilevel_optimal",
+    "multilevel_cost_bounds",
+    "MultilevelOptimalResult",
     "decide_pebbling",
     "compcost_heuristic",
     "OptimalResult",

@@ -1,0 +1,405 @@
+"""Exact optimal solver for the multi-level pebble game.
+
+The multi-level analogue of :mod:`repro.solvers.kernel`: best-first
+search (Dijkstra, or A* under the built-in sink-count heuristic when
+computation is priced) over the packed per-level bitmask states of
+:mod:`repro.multilevel.bitgame`.  The kernel's three load-bearing ideas
+carry over:
+
+* **packed integer states** — a board is one mask per level; the L masks
+  concatenate into a single int key ``sum(mask_i << (i*n))`` for the
+  open/closed dictionaries, so hashing and equality are integer ops;
+* **integer-scaled costs** — transfer and compute costs are scaled by
+  the LCM of their denominators, so priority-queue keys are plain ints,
+  not Fractions, and accumulation is exact;
+* **delete normalization** — deletes are free, so any schedule can be
+  rewritten at equal cost with every delete happening immediately before
+  the move that needs the freed slot *at the deleted pebble's level*
+  (deletes commute right past moves that do not touch their node or
+  their level's capacity; a deleted value that is later recomputed could
+  instead have stayed put, since Compute pulls a pebble up from any
+  level at the same price; deletes at the unbounded last level never
+  unlock capacity and simply drop).  The expander therefore emits plain
+  Compute/Move successors while the target level has a slot, and fused
+  ``Delete(x at target level); move`` successors when it is full —
+  standalone Delete edges disappear from the state graph.
+
+**Dominance across levels.**  A popped state is skipped when a settled
+state with *identical masks on levels 1..L-1*, a superset of its level-0
+pebbles, and no worse cost exists.  Soundness mirrors the red-blue
+argument (level 0 plays the role of red): the dominating state T mirrors
+any normalized continuation of the dominated S move-for-move.  Surplus
+level-0 pebbles of T are, by the invariant, nowhere in S, so whenever a
+mirrored move is blocked by level-0 capacity T first deletes a surplus
+pebble — free, and never one of the inputs the move needs, since those
+sit in S's level 0 and are therefore not surplus.  If S computes a value
+T already holds at level 0, T skips the (non-negatively priced) compute.
+Moves among levels 1..L-1 touch identical masks and mirror directly.
+The invariant is maintained to completion, so T finishes at most as
+expensively.  Restricting the bucket to *equal* deeper levels is what
+keeps the argument airtight: a mid-level superset could not shed its
+surplus without destroying values S still holds.
+
+:func:`multilevel_cost_bounds` brackets instances too large to finish:
+a truncated search gives the lower end (the smallest f-value still open)
+and the :func:`~repro.multilevel.strategies.multilevel_topological_schedule`
+baseline prices the upper end.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bitstate import bit_layout
+from ..core.errors import BudgetExceededError, SolverError
+from ..multilevel.game import (
+    MLCompute,
+    MLDelete,
+    MLMove,
+    MultilevelInstance,
+)
+
+__all__ = [
+    "MultilevelOptimalResult",
+    "solve_multilevel_optimal",
+    "multilevel_cost_bounds",
+]
+
+
+@dataclass(frozen=True)
+class MultilevelOptimalResult:
+    """Result of an exact multi-level search.
+
+    Attributes
+    ----------
+    cost:
+        The optimal pebbling cost (a lower bound when ``complete`` is
+        False, see ``on_exhausted="bound"``).
+    moves:
+        One optimal move list (``MLCompute`` / ``MLMove`` / ``MLDelete``
+        objects, runnable by :class:`MultilevelSimulator`); None when
+        reconstruction was disabled or the search was truncated.
+    expanded / generated:
+        States popped from / pushed onto the frontier.
+    complete:
+        False only for truncated ``on_exhausted="bound"`` results.
+    """
+
+    cost: Fraction
+    moves: Optional[List]
+    expanded: int
+    generated: int
+    complete: bool = True
+
+    @property
+    def length(self) -> Optional[int]:
+        return len(self.moves) if self.moves is not None else None
+
+
+class _MLExpander:
+    """Precomputed per-instance search context (the kernel's _Expander twin)."""
+
+    __slots__ = (
+        "instance",
+        "layout",
+        "n",
+        "levels",
+        "caps",
+        "scale",
+        "transfer_i",
+        "compute_i",
+        "parent_masks",
+        "full_mask",
+        "sink_mask",
+        "fused",
+    )
+
+    def __init__(self, instance: MultilevelInstance):
+        spec = instance.spec
+        self.instance = instance
+        self.layout = bit_layout(instance.dag)
+        self.n = self.layout.n
+        self.levels = spec.levels
+        self.caps = spec.capacities
+        denoms = [c.denominator for c in spec.transfer_costs]
+        denoms.append(spec.compute_cost.denominator)
+        self.scale = math.lcm(*denoms)
+        self.transfer_i = tuple(int(c * self.scale) for c in spec.transfer_costs)
+        self.compute_i = int(spec.compute_cost * self.scale)
+        self.parent_masks = self.layout.parent_masks
+        self.full_mask = self.layout.full_mask
+        self.sink_mask = self.layout.sink_mask
+        # move codes: Compute(v) = v; Move(v, to) = n + v*L + to; a fused
+        # Delete(x); <plain> adds fused*(x+1) on top (see decode_moves)
+        self.fused = self.n + self.n * self.levels
+
+    def unscale(self, g: int) -> Fraction:
+        return Fraction(g, self.scale)
+
+    def pack(self, masks: Tuple[int, ...]) -> int:
+        n = self.n
+        key = 0
+        for i, m in enumerate(masks):
+            key |= m << (i * n)
+        return key
+
+    def successors(self, masks: Tuple[int, ...]):
+        """Yield ``(new_masks, cost_i, move_code)`` per normalized edge."""
+        n = self.n
+        levels = self.levels
+        caps = self.caps
+        fused = self.fused
+        parent_masks = self.parent_masks
+        level0 = masks[0]
+        compute_i = self.compute_i
+
+        # -- computes: parents all at level 0, v itself not there ------- #
+        computable = []
+        m = self.full_mask & ~level0
+        while m:
+            low = m & -m
+            m ^= low
+            i = low.bit_length() - 1
+            if parent_masks[i] & ~level0 == 0:
+                computable.append((i, low))
+        if level0.bit_count() < caps[0]:
+            for i, low in computable:
+                new = [mk & ~low for mk in masks]
+                new[0] = level0 | low
+                yield tuple(new), compute_i, i
+        else:
+            # full fastest level: fused Delete(x at level 0); Compute(v),
+            # where x is not one of v's inputs
+            for i, low in computable:
+                mx = level0 & ~parent_masks[i]
+                while mx:
+                    lowx = mx & -mx
+                    mx ^= lowx
+                    x = lowx.bit_length() - 1
+                    new = [mk & ~low for mk in masks]
+                    new[0] = (level0 ^ lowx) | low
+                    yield tuple(new), compute_i, fused * (x + 1) + i
+
+        # -- level moves (and their fused variants at full targets) ---- #
+        for j in range(levels):
+            mj = masks[j]
+            if not mj:
+                continue
+            for to in (j - 1, j + 1):
+                if not 0 <= to < levels:
+                    continue
+                cost = self.transfer_i[min(j, to)]
+                cap_to = caps[to]
+                if cap_to is None or masks[to].bit_count() < cap_to:
+                    m = mj
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        i = low.bit_length() - 1
+                        new = list(masks)
+                        new[j] ^= low
+                        new[to] |= low
+                        yield tuple(new), cost, n + i * levels + to
+                else:
+                    target = masks[to]
+                    m = mj
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        i = low.bit_length() - 1
+                        code = n + i * levels + to
+                        mx = target
+                        while mx:
+                            lowx = mx & -mx
+                            mx ^= lowx
+                            x = lowx.bit_length() - 1
+                            new = list(masks)
+                            new[j] ^= low
+                            new[to] = (target ^ lowx) | low
+                            yield tuple(new), cost, fused * (x + 1) + code
+
+    def decode_moves(self, codes: List[int]) -> List:
+        nodes = self.layout.nodes
+        n = self.n
+        levels = self.levels
+        fused = self.fused
+        moves: List = []
+        for code in codes:
+            if code >= fused:
+                x, code = divmod(code, fused)
+                moves.append(MLDelete(nodes[x - 1]))
+            if code < n:
+                moves.append(MLCompute(nodes[code]))
+            else:
+                i, to = divmod(code - n, levels)
+                moves.append(MLMove(nodes[i], to))
+        return moves
+
+
+def solve_multilevel_optimal(
+    instance: MultilevelInstance,
+    *,
+    budget: int = 2_000_000,
+    return_schedule: bool = True,
+    dominance: bool = True,
+    on_exhausted: str = "raise",
+) -> MultilevelOptimalResult:
+    """Optimal multi-level pebbling cost by best-first search.
+
+    Dijkstra over the packed-state graph; when the hierarchy prices
+    computation (``compute_cost > 0``) the search runs as A* under the
+    admissible, consistent heuristic *compute_cost x (sinks without a
+    pebble)* — every unpebbled sink still needs at least one Compute.
+
+    ``on_exhausted`` controls behaviour at ``budget`` expansions:
+    ``"raise"`` (default) raises :class:`BudgetExceededError`;
+    ``"bound"`` returns a truncated result whose ``cost`` is a *lower
+    bound* on the optimum (the smallest f-value still open) with
+    ``moves=None`` and ``complete=False`` — the building block of
+    :func:`multilevel_cost_bounds`.
+    """
+    if on_exhausted not in ("raise", "bound"):
+        raise ValueError(
+            f"unknown on_exhausted mode {on_exhausted!r}; "
+            f"expected 'raise' or 'bound'"
+        )
+    ex = _MLExpander(instance)
+    sink_mask = ex.sink_mask
+    if sink_mask == 0:  # empty DAG: already complete
+        return MultilevelOptimalResult(
+            Fraction(0), [] if return_schedule else None, 0, 0
+        )
+
+    compute_i = ex.compute_i
+    n = ex.n
+
+    def h(masks: Tuple[int, ...]) -> int:
+        if not compute_i:
+            return 0
+        pebbled = 0
+        for m in masks:
+            pebbled |= m
+        return compute_i * (sink_mask & ~pebbled).bit_count()
+
+    start = (0,) * ex.levels
+    counter = itertools.count()
+    # heap entries: (f, tiebreak, g, masks)
+    frontier: List[Tuple[int, int, int, Tuple[int, ...]]] = [
+        (h(start), next(counter), 0, start)
+    ]
+    best_g: Dict[int, int] = {0: 0}
+    parents: Dict[int, Tuple[int, int]] = {}
+    closed = set()
+    # dominance table: packed(levels 1..L-1) -> [(level0_mask, g), ...]
+    tt: Dict[int, List[Tuple[int, int]]] = {}
+    expanded = 0
+    generated = 0
+
+    while frontier:
+        f, _, g, masks = heapq.heappop(frontier)
+        key = ex.pack(masks)
+        if key in closed:
+            continue
+        closed.add(key)
+
+        pebbled = 0
+        for m in masks:
+            pebbled |= m
+        if sink_mask & ~pebbled == 0:
+            moves = None
+            if return_schedule:
+                codes = []
+                k = key
+                while k in parents:
+                    k, code = parents[k]
+                    codes.append(code)
+                codes.reverse()
+                moves = ex.decode_moves(codes)
+            return MultilevelOptimalResult(ex.unscale(g), moves, expanded, generated)
+
+        if dominance:
+            bucket_key = key >> n  # levels 1..L-1, packed
+            bucket = tt.get(bucket_key)
+            if bucket is not None:
+                level0 = masks[0]
+                dominated = False
+                for r2, g2 in bucket:
+                    if g2 <= g and level0 & ~r2 == 0:
+                        dominated = True
+                        break
+                if dominated:
+                    continue
+                bucket.append((level0, g))
+            else:
+                tt[bucket_key] = [(masks[0], g)]
+
+        expanded += 1
+        if expanded > budget:
+            if on_exhausted == "bound":
+                open_f = min((e[0] for e in frontier), default=f)
+                return MultilevelOptimalResult(
+                    ex.unscale(min(f, open_f)),
+                    None,
+                    expanded,
+                    generated,
+                    complete=False,
+                )
+            raise BudgetExceededError(budget)
+
+        for nmasks, cost_i, code in ex.successors(masks):
+            nkey = ex.pack(nmasks)
+            if nkey in closed:
+                continue
+            ng = g + cost_i
+            old = best_g.get(nkey)
+            if old is None or ng < old:
+                best_g[nkey] = ng
+                if return_schedule:
+                    parents[nkey] = (key, code)
+                heapq.heappush(
+                    frontier, (ng + h(nmasks), next(counter), ng, nmasks)
+                )
+                generated += 1
+
+    raise SolverError(
+        "search space exhausted without reaching a complete state "
+        "(this should be impossible for a feasible instance)"
+    )
+
+
+def multilevel_cost_bounds(
+    instance: MultilevelInstance,
+    *,
+    node_budget: int = 50_000,
+) -> Tuple[Fraction, Fraction]:
+    """Bracket the optimal multi-level cost as ``(lower, upper)``.
+
+    Runs :func:`solve_multilevel_optimal` for at most ``node_budget``
+    expansions.  If the search finishes, both ends equal the exact
+    optimum.  Otherwise the lower end is the smallest f-value still open
+    on the frontier (f-values along any path are non-decreasing, so no
+    cheaper completion exists) and the upper end is the priced
+    topological baseline of
+    :func:`~repro.multilevel.strategies.multilevel_topological_schedule`.
+    """
+    from ..multilevel.game import MultilevelSimulator
+    from ..multilevel.strategies import multilevel_topological_schedule
+
+    result = solve_multilevel_optimal(
+        instance,
+        budget=node_budget,
+        return_schedule=False,
+        on_exhausted="bound",
+    )
+    if result.complete:
+        return result.cost, result.cost
+    upper = MultilevelSimulator(instance).run(
+        multilevel_topological_schedule(instance), require_complete=True
+    ).cost
+    lower = result.cost
+    return lower, max(lower, upper)

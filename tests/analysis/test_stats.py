@@ -43,6 +43,30 @@ class TestScheduleStats:
         stats = schedule_stats(inst, [Compute("a")])
         assert stats.mean_reuse_distance is None
 
+    def test_load_reacquisition_counts_as_use(self, inst):
+        """A Load re-acquiring a value is a use (the docstring's
+        "(Load/Compute) uses"): it closes a reuse interval and opens the
+        next one.  The pre-fix code only saw Compute inputs."""
+        # a is used at move 1 (input of b), re-acquired at move 5
+        sched = [Compute("a"), Compute("b"), Store("a"), Compute("c"),
+                 Delete("b"), Load("a")]
+        stats = schedule_stats(inst, sched)
+        assert stats.reuse_distances == (4,)
+
+    def test_load_then_compute_measures_from_the_load(self):
+        dag = ComputationDAG([("b", "x"), ("b", "y")])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)
+        sched = [Compute("b"), Compute("x"), Store("b"), Load("b"), Compute("y")]
+        # b used at 1 (input of x), re-acquired at 3, used again at 4
+        stats = schedule_stats(inst, sched)
+        assert stats.reuse_distances == (2, 1)
+
+    def test_working_set_semantics_unchanged_by_load_fix(self, inst):
+        sched = [Compute("a"), Compute("b"), Store("a"), Compute("c"),
+                 Delete("b"), Load("a")]
+        stats = schedule_stats(inst, sched)
+        assert stats.working_set == (1, 2, 1, 2, 1, 2)
+
     def test_hottest_nodes_sorted(self):
         dag = grid_stencil_dag(4, 4)
         inst = PebblingInstance(dag=dag, model="oneshot", red_limit=3)

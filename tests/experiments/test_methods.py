@@ -21,12 +21,16 @@ class TestResolution:
         "greedy:most-red-inputs", "greedy:red-ratio",
         "fixed-order:belady", "fixed-order:lru", "fixed-order:random7",
         "beam:4", "local-search:100", "sleep:0.01",
+        "ml:exact", "ml:topo",
+        "ml:exact:hier:3,6:1,4", "ml:topo:hier:4,16:1,8",
     ])
     def test_known_names_resolve(self, name):
         assert callable(resolve_method(name))
 
     @pytest.mark.parametrize("name", [
         "warp-drive", "greedy:bogus-rule", "fixed-order:bogus",
+        "ml:bogus", "ml:exact:pyramid:3",
+        "ml:exact:hier:3,6:1",  # malformed hierarchy must fail at resolve time
     ])
     def test_unknown_names_raise(self, name):
         with pytest.raises(ValueError):
@@ -59,3 +63,40 @@ class TestOutcomes:
         inst, task = make(dag="pyramid:3", method="tradeoff-opt")
         with pytest.raises(ValueError):
             resolve_method("tradeoff-opt")(inst, task)
+
+
+class TestMultilevelMethods:
+    def test_default_hierarchy_matches_base_exact(self):
+        """ml:exact's default 2-level hierarchy (R, unbounded) with unit
+        costs is the red-blue base game: it must agree with plain exact
+        on a base-model instance."""
+        inst, task = make(model="base", method="ml:exact")
+        ml = resolve_method("ml:exact")(inst, task)
+        rb = resolve_method("exact")(inst, task)
+        assert ml.cost == rb.cost
+        assert ml.extra["levels"] == "2"
+
+    def test_topo_upper_bounds_exact(self):
+        inst, task = make(model="base")
+        topo = resolve_method("ml:topo")(inst, task)
+        exact = resolve_method("ml:exact")(inst, task)
+        assert exact.cost <= topo.cost
+        assert "peak_usage" in topo.extra
+
+    def test_explicit_hierarchy_is_parsed_from_the_name(self):
+        inst, task = make(model="base", method="ml:exact:hier:3,6:1,4")
+        outcome = resolve_method("ml:exact:hier:3,6:1,4")(inst, task)
+        assert outcome.extra["levels"] == "3"
+        assert outcome.extra["capacities"] == "3,6,inf"
+
+    def test_too_small_hierarchy_classified_infeasible_like_red_blue(self):
+        """A level-0 capacity below Delta+1 must land in the same result
+        bucket as an R below Delta+1 does for the red-blue methods."""
+        from repro.experiments import Runner
+
+        task = TaskSpec(
+            spec="t", dag="pyramid:3", model="base",
+            method="ml:exact:hier:2:1", red_limit=3,
+        )
+        result = Runner(jobs=0).run([task])[0]
+        assert result.status.value == "infeasible"

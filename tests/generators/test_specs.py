@@ -1,11 +1,14 @@
 """The textual DAG-spec grammar shared by the CLI and the runner."""
 
+from fractions import Fraction
+
 import pytest
 
 from repro.generators import (
     butterfly_dag,
     dag_from_spec,
     grid_stencil_dag,
+    hierarchy_from_spec,
     independent_tasks_dag,
     layered_random_dag,
     matmul_dag,
@@ -52,6 +55,32 @@ class TestParameterisedSpecs:
         path = tmp_path / "dag.json"
         path.write_text(dag_to_json(ComputationDAG([("a", "b")])))
         assert dag_from_spec(f"@{path}").n_nodes == 2
+
+
+class TestHierarchySpecs:
+    def test_three_level_example(self):
+        spec = hierarchy_from_spec("hier:4,16:1,8")
+        assert spec.capacities == (4, 16, None)
+        assert spec.transfer_costs == (Fraction(1), Fraction(8))
+        assert spec.compute_cost == 0
+
+    def test_two_level_with_fractional_costs(self):
+        spec = hierarchy_from_spec("hier:3:1/2:c1/100")
+        assert spec.capacities == (3, None)
+        assert spec.transfer_costs == (Fraction(1, 2),)
+        assert spec.compute_cost == Fraction(1, 100)
+
+    @pytest.mark.parametrize("spec", [
+        "hier:4",              # missing transfer costs
+        "hier:4,16:1",         # boundary/capacity count mismatch
+        "hier:x:1",            # non-numeric capacity
+        "hier:4:1:q9",         # unknown option
+        "hier:0:1",            # capacity below 1 (HierarchySpec rule)
+        "pyramid:3",           # not a hierarchy spec at all
+    ])
+    def test_bad_hierarchy_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            hierarchy_from_spec(spec)
 
 
 class TestErrors:

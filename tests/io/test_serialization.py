@@ -91,6 +91,33 @@ class TestInstanceSerialization:
         assert back.epsilon == Fraction(1, 50)
         assert back.costs.compute_cost == Fraction(1, 50)
 
+    def test_absent_epsilon_falls_back_to_the_model_default(self):
+        """Payloads without an epsilon key must pick up DEFAULT_EPSILON —
+        not a hard-coded copy of its current value that could silently
+        drift if the constant ever changes."""
+        import json
+
+        from repro.core.models import DEFAULT_EPSILON
+
+        inst = PebblingInstance(
+            dag=ComputationDAG([("a", "b")]), model="compcost", red_limit=2
+        )
+        payload = json.loads(instance_to_json(inst))
+        del payload["epsilon"]
+        back = instance_from_json(json.dumps(payload))
+        assert back.epsilon == DEFAULT_EPSILON
+        assert back.costs.compute_cost == DEFAULT_EPSILON
+
+    def test_explicit_epsilon_round_trips_exactly(self):
+        inst = PebblingInstance(
+            dag=ComputationDAG([("a", "b")]),
+            model="compcost",
+            red_limit=2,
+            epsilon=Fraction(3, 7),
+        )
+        back = instance_from_json(instance_to_json(inst))
+        assert back.epsilon == Fraction(3, 7)
+
 
 class TestDot:
     def test_structure(self):

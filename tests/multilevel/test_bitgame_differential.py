@@ -1,0 +1,188 @@
+"""Differential tests: the multi-level mask engine vs the frozenset referee.
+
+Hypothesis generates random DAGs, random hierarchies (depth, capacities,
+transfer costs, compute cost) and random move walks, and every property
+asserts that :mod:`repro.multilevel.bitgame` and the legacy
+:meth:`MultilevelSimulator.step` agree on
+
+* move legality (same legal-move sets, same rejection messages),
+* resulting states (decode(mask step) == legacy step, round-trips),
+* costs (exact Fractions),
+* the ``run`` fast path (same totals/peaks as stepping one-by-one).
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import ComputationDAG, IllegalMoveError
+from repro.core.bitstate import bit_layout
+from repro.multilevel import (
+    HierarchySpec,
+    MLCompute,
+    MLDelete,
+    MLMove,
+    MultilevelInstance,
+    MultilevelSimulator,
+    apply_ml_move_bits,
+    decode_ml_state,
+    encode_ml_state,
+    initial_ml_state,
+    legal_ml_moves_bits,
+)
+
+DIFF_SETTINGS = dict(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def scenarios(draw):
+    """A random (dag, hierarchy) pair small enough to walk exhaustively."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = []
+    indeg = [0] * n
+    for (u, v) in pairs:
+        if indeg[v] < 2 and draw(st.booleans()):
+            chosen.append((u, v))
+            indeg[v] += 1
+    dag = ComputationDAG(edges=chosen, nodes=range(n))
+    levels = draw(st.integers(min_value=2, max_value=4))
+    caps = [dag.max_indegree + 1 + draw(st.integers(0, 2))]
+    for _ in range(levels - 2):
+        caps.append(draw(st.integers(1, 4)))
+    caps.append(None)
+    costs = [
+        Fraction(draw(st.sampled_from([0, 1, 2, "1/2", "3/2"])))
+        for _ in range(levels - 1)
+    ]
+    compute = Fraction(draw(st.sampled_from([0, 0, "1/100"])))
+    spec = HierarchySpec(
+        capacities=tuple(caps), transfer_costs=tuple(costs), compute_cost=compute
+    )
+    return MultilevelInstance(dag=dag, spec=spec)
+
+
+def candidate_moves(instance):
+    """Every conceivable move, legal or not (incl. a node outside the DAG)."""
+    nodes = list(instance.dag.nodes) + ["not-in-dag"]
+    out = []
+    for v in nodes:
+        out.append(MLCompute(v))
+        out.append(MLDelete(v))
+        for to in range(-1, instance.spec.levels + 1):
+            out.append(MLMove(v, to))
+    return out
+
+
+def reference_legal(sim, state):
+    """Brute-force legality via the frozenset referee."""
+    legal = []
+    for move in candidate_moves(sim.instance):
+        try:
+            sim.step(state, move)
+        except IllegalMoveError:
+            continue
+        legal.append(move)
+    return legal
+
+
+def walk(data, instance, steps):
+    """Random-walk both engines in lockstep, asserting agreement throughout.
+
+    Returns the list of (legacy_state, masks) pairs visited.
+    """
+    sim = MultilevelSimulator(instance)
+    layout = bit_layout(instance.dag)
+    spec = instance.spec
+    state = sim.initial_state()
+    masks = initial_ml_state(spec.levels)
+    visited = [(state, masks)]
+    for _ in range(steps):
+        legal = sorted(reference_legal(sim, state), key=repr)
+        legal_b = sorted(legal_ml_moves_bits(layout, spec, masks), key=repr)
+        assert legal == legal_b, "legal-move sets diverge"
+        if not legal:
+            break
+        move = legal[data.draw(st.integers(0, len(legal) - 1), label="move")]
+        state, cost = sim.step(state, move)
+        masks, cost_b = apply_ml_move_bits(layout, spec, masks, move)
+        assert cost == cost_b, f"cost diverges on {move}"
+        visited.append((state, masks))
+    return visited
+
+
+class TestWalkAgreement:
+    @settings(**DIFF_SETTINGS)
+    @given(instance=scenarios(), data=st.data())
+    def test_states_costs_and_legality_agree(self, instance, data):
+        layout = bit_layout(instance.dag)
+        for state, masks in walk(data, instance, steps=12):
+            assert decode_ml_state(layout, masks) == state
+            assert encode_ml_state(layout, state) == masks
+            # the masks stay pairwise disjoint (one level per value)
+            seen = 0
+            for m in masks:
+                assert seen & m == 0
+                seen |= m
+
+
+class TestIllegalMoveAgreement:
+    @settings(**DIFF_SETTINGS)
+    @given(instance=scenarios(), data=st.data())
+    def test_arbitrary_moves_accepted_or_rejected_identically(self, instance, data):
+        sim = MultilevelSimulator(instance)
+        layout = bit_layout(instance.dag)
+        spec = instance.spec
+        state, masks = walk(data, instance, steps=8)[-1]
+        moves = candidate_moves(instance)
+        for _ in range(10):
+            move = moves[data.draw(st.integers(0, len(moves) - 1), label="try")]
+            legacy_outcome = bit_outcome = None
+            legacy_msg = bit_msg = None
+            try:
+                legacy_outcome = sim.step(state, move)
+            except IllegalMoveError as err:
+                legacy_msg = str(err)
+            try:
+                bit_outcome = apply_ml_move_bits(layout, spec, masks, move)
+            except IllegalMoveError as err:
+                bit_msg = str(err)
+            assert (legacy_outcome is None) == (bit_outcome is None)
+            if legacy_outcome is None:
+                assert legacy_msg == bit_msg, "error messages diverge"
+            else:
+                new_state, cost = legacy_outcome
+                new_masks, cost_b = bit_outcome
+                assert cost == cost_b
+                assert decode_ml_state(layout, new_masks) == new_state
+
+
+class TestRunFastPath:
+    @settings(**DIFF_SETTINGS)
+    @given(instance=scenarios(), data=st.data())
+    def test_run_matches_stepping(self, instance, data):
+        sim = MultilevelSimulator(instance)
+        schedule = []
+        state = sim.initial_state()
+        total = Fraction(0)
+        peak = [0] * instance.spec.levels
+        for _ in range(12):
+            legal = sorted(reference_legal(sim, state), key=repr)
+            if not legal:
+                break
+            move = legal[data.draw(st.integers(0, len(legal) - 1), label="move")]
+            schedule.append(move)
+            state, cost = sim.step(state, move)
+            total += cost
+            for i, s in enumerate(state.levels):
+                peak[i] = max(peak[i], len(s))
+        result = sim.run(schedule)
+        assert result.cost == total
+        assert result.final_state == state
+        assert result.steps == len(schedule)
+        assert result.peak_usage == tuple(peak)
+        assert result.complete == sim.is_complete(state)

@@ -56,8 +56,10 @@ class TestHierarchySpec:
             HierarchySpec(capacities=(3, None), transfer_costs=(-1,))
 
     def test_instance_needs_enough_level0(self):
+        from repro.core.errors import InfeasibleInstanceError
+
         dag = pyramid_dag(2)  # indegree 2 needs capacity >= 3
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleInstanceError):
             MultilevelInstance(
                 dag=dag,
                 spec=HierarchySpec(capacities=(2, None), transfer_costs=(1,)),

@@ -1,0 +1,125 @@
+"""Regression tests for the multi-level topological strategy.
+
+The headline regression: ``park_level=k`` for a non-last level used to
+*never delete*, so level k's capacity eventually overflowed and the
+emitted schedule was illegal on any DAG with more than ``capacities[k]``
+values.  Every schedule the strategy emits must replay cleanly through
+the simulator — that is the whole point of a strategy.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.generators import chain_dag, grid_stencil_dag, pyramid_dag
+from repro.multilevel import (
+    HierarchySpec,
+    MLMove,
+    MultilevelInstance,
+    MultilevelSimulator,
+    multilevel_topological_schedule,
+)
+
+
+def run(inst, sched):
+    return MultilevelSimulator(inst).run(sched, require_complete=True)
+
+
+class TestBoundedParkLevels:
+    def test_bounded_park_level_is_legal(self):
+        """grid(3x3) has 9 values but level 1 holds only 4: the old
+        strategy overflowed it; the fixed one deletes dead values."""
+        inst = MultilevelInstance(
+            dag=grid_stencil_dag(3, 3),
+            spec=HierarchySpec(
+                capacities=(3, 4, None), transfer_costs=(Fraction(1), Fraction(10))
+            ),
+        )
+        sched = multilevel_topological_schedule(inst, park_level=1)
+        res = run(inst, sched)
+        assert res.complete
+        assert res.peak_usage[1] <= 4
+
+    @pytest.mark.parametrize("park", [1, 2, None])
+    def test_all_park_levels_replay_cleanly(self, park):
+        inst = MultilevelInstance(
+            dag=pyramid_dag(3),
+            spec=HierarchySpec(
+                capacities=(4, 10, None), transfer_costs=(Fraction(1), Fraction(5))
+            ),
+        )
+        sched = multilevel_topological_schedule(inst, park_level=park)
+        res = run(inst, sched)
+        assert res.complete
+        for peak, cap in zip(res.peak_usage, inst.spec.capacities):
+            if cap is not None:
+                assert peak <= cap
+
+    def test_infeasible_park_level_rejected(self):
+        """A park level whose capacity cannot hold the live working set
+        must be rejected instead of emitting an illegal schedule."""
+        inst = MultilevelInstance(
+            dag=grid_stencil_dag(3, 3),
+            spec=HierarchySpec(
+                capacities=(3, 1, None), transfer_costs=(Fraction(1), Fraction(10))
+            ),
+        )
+        with pytest.raises(ValueError, match="park level 1"):
+            multilevel_topological_schedule(inst, park_level=1)
+
+    def test_infeasible_park_zero_rejected(self):
+        inst = MultilevelInstance(
+            dag=pyramid_dag(3),
+            spec=HierarchySpec(capacities=(3, None), transfer_costs=(Fraction(1),)),
+        )
+        with pytest.raises(ValueError, match="park level 0"):
+            multilevel_topological_schedule(inst, park_level=0)
+
+    def test_park_zero_feasible_when_everything_fits(self):
+        dag = pyramid_dag(2)
+        inst = MultilevelInstance(
+            dag=dag,
+            spec=HierarchySpec(
+                capacities=(dag.n_nodes, None), transfer_costs=(Fraction(1),)
+            ),
+        )
+        sched = multilevel_topological_schedule(inst, park_level=0)
+        res = run(inst, sched)
+        assert res.complete
+        assert res.cost == 0  # nothing ever leaves the fastest level
+
+
+class TestNoRedundantTraffic:
+    def test_chain_costs_nothing(self):
+        """On a chain every value is reused by the immediately next node:
+        the fixed strategy keeps it at level 0 (no sink/bubble pair) and
+        deletes it once dead, so no boundary is ever crossed."""
+        inst = MultilevelInstance(
+            dag=chain_dag(6),
+            spec=HierarchySpec(
+                capacities=(2, 4, None), transfer_costs=(Fraction(1), Fraction(10))
+            ),
+        )
+        sched = multilevel_topological_schedule(inst)
+        assert not any(isinstance(m, MLMove) for m in sched)
+        assert run(inst, sched).cost == 0
+
+    def test_still_rejects_non_topological_order(self):
+        inst = MultilevelInstance(
+            dag=chain_dag(3),
+            spec=HierarchySpec(capacities=(2, None), transfer_costs=(Fraction(1),)),
+        )
+        with pytest.raises(ValueError, match="not topological"):
+            multilevel_topological_schedule(inst, order=[2, 1, 0])
+
+    def test_deeper_park_costs_more_on_pricey_far_boundary(self):
+        dag = grid_stencil_dag(3, 3)
+        inst = MultilevelInstance(
+            dag=dag,
+            spec=HierarchySpec(
+                capacities=(3, 50, None), transfer_costs=(Fraction(1), Fraction(100))
+            ),
+        )
+        near = run(inst, multilevel_topological_schedule(inst, park_level=1)).cost
+        far = run(inst, multilevel_topological_schedule(inst)).cost
+        assert near < far

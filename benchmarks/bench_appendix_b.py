@@ -1,101 +1,43 @@
 """Experiment App-B — the constant-indegree transformation.
 
-Appendix B claims every result survives restricting to Delta = 2 via the
-CD-gadget transformation at R' = R + 1.  Measured here:
-
-* Theorem 2 at Delta = 2: the transformed Hamiltonian-path construction
-  prices every visit order *identically* to the plain one in oneshot
-  (gadget walks are free), so the decision threshold transfers verbatim;
-* Theorem 4 at Delta = 2: the greedy/optimal gap on the transformed grid
-  equals the plain gap (the Theta~(sqrt n) regime: the gadget nodes
-  inflate n without adding cost);
-* nodel overhead: exactly one store per gadget chain node (B.1).
+Thin wrapper over the declarative ``appendix-b-thm2`` and
+``appendix-b-thm4`` specs (:mod:`repro.experiments`).  The registered
+assertion suites gate Appendix B's claims: the Delta=2 CD transform of
+the Theorem 2 construction prices every visit order *identically* in
+oneshot (so the decision threshold transfers verbatim), and the
+Theorem 4 greedy/optimal gap persists on the transformed grid.
 
 Run standalone:  python benchmarks/bench_appendix_b.py
 """
 
-from repro import PebblingSimulator
-from repro.analysis import render_table
-from repro.generators import random_graph
-from repro.npc import has_hamiltonian_path
-from repro.reductions import (
-    constant_degree_system,
-    greedy_grid_construction,
-    hampath_reduction,
-)
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
+
+THM2_SPEC = get_spec("appendix-b-thm2")
+THM4_SPEC = get_spec("appendix-b-thm4")
 
 
-def reproduce_thm2():
-    rows = []
-    for seed in range(4):
-        g = random_graph(5, 0.45, seed=seed)
-        red = hampath_reduction(g, "oneshot")
-        cd = constant_degree_system(red.system, layers=3)
-        inst = cd.instance("oneshot")
-        cost, order = red.optimal_order()  # optimal order transfers
-        measured = PebblingSimulator(inst).run(
-            cd.emit_visit_schedule(order, "oneshot"), require_complete=True
-        ).cost
-        rows.append(
-            {
-                "graph": f"n=5,m={g.m}",
-                "Delta": cd.dag.max_indegree,
-                "plain cost": str(cost),
-                "CD cost": str(measured),
-                "identical": measured == cost,
-                "ham (pebbling)": measured <= red.decision_threshold(),
-                "ham (truth)": has_hamiltonian_path(g),
-            }
-        )
-    return rows
-
-
-def reproduce_thm4():
-    rows = []
-    for l, kc in [(3, 6), (4, 12), (5, 20)]:
-        c = greedy_grid_construction(l, kc)
-        cd = constant_degree_system(c.system, layers=2)
-        inst = cd.instance("oneshot")
-        greedy = PebblingSimulator(inst).run(
-            cd.emit_visit_schedule(c.predicted_greedy_sequence(), "oneshot"),
-            require_complete=True,
-        ).cost
-        opt = PebblingSimulator(inst).run(
-            cd.emit_visit_schedule(c.optimal_sequence(), "oneshot"),
-            require_complete=True,
-        ).cost
-        rows.append(
-            {
-                "l": l,
-                "k'": kc,
-                "Delta": cd.dag.max_indegree,
-                "n (CD nodes)": cd.dag.n_nodes,
-                "greedy": str(greedy),
-                "optimal": str(opt),
-                "ratio": f"{float(greedy / opt):.2f}",
-            }
-        )
-    return rows
+def reproduce(spec=THM2_SPEC):
+    results = Runner(jobs=0).run(spec)
+    run_spec_checks(spec.name, results)
+    return results
 
 
 def test_appendix_b_thm2_cost_exact(benchmark):
-    rows = benchmark.pedantic(reproduce_thm2, rounds=1, iterations=1)
-    assert all(r["identical"] for r in rows)
-    assert all(r["ham (pebbling)"] == r["ham (truth)"] for r in rows)
-    assert all(r["Delta"] == 2 for r in rows)
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == THM2_SPEC.n_tasks
 
 
 def test_appendix_b_thm4_gap_persists(benchmark):
-    rows = benchmark.pedantic(reproduce_thm4, rounds=1, iterations=1)
-    ratios = [float(r["ratio"]) for r in rows]
-    assert ratios == sorted(ratios)
-    assert ratios[-1] > 2 * ratios[0]
-    assert all(r["Delta"] == 2 for r in rows)
+    results = benchmark.pedantic(
+        reproduce, args=(THM4_SPEC,), rounds=1, iterations=1
+    )
+    assert len(results) == THM4_SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce_thm2(),
+    print(render_table(results_table(reproduce()),
                        title="Appendix B: Theorem 2 at Delta=2 (CD transform)"))
     print()
-    print(render_table(reproduce_thm4(),
+    print(render_table(results_table(reproduce(THM4_SPEC)),
                        title="Appendix B: Theorem 4 at Delta=2 (CD transform)"))

@@ -1,77 +1,33 @@
 """Experiment App-C — alternative starting/finishing conventions.
 
-Appendix C argues the literature's variant problem definitions are
-interchangeable: requiring blue pebbles on sinks costs at most +1 per
-sink, and the single-source transform (super source s0 -> every node,
-R' = R+1) preserves behaviour.  Both are measured here on exact optima.
+Thin wrapper over the declarative ``appendix-c`` spec
+(:mod:`repro.experiments`).  The registered assertion suite gates the
+Appendix C equivalences on exact optima: requiring blue pebbles on
+sinks costs at most +1 per sink, and the single-source transform
+(super source s0 -> every node, R' = R + 1) replays the original
+optimum unchanged.
 
 Run standalone:  python benchmarks/bench_appendix_c.py
 """
 
-from repro import PebblingInstance, PebblingSimulator
-from repro.analysis import render_table
-from repro.gadgets import add_super_source, finalize_sinks_blue
-from repro.gadgets.transforms import lift_schedule_to_super_source
-from repro.generators import grid_stencil_dag, independent_tasks_dag, pyramid_dag
-from repro.solvers import solve_optimal
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-DAGS = [
-    ("pyramid(2)", pyramid_dag(2)),
-    ("grid(2x3)", grid_stencil_dag(2, 3)),
-    ("tasks(2x2)", independent_tasks_dag(2, 2)),
-]
+SPEC = get_spec("appendix-c")
 
 
 def reproduce():
-    rows = []
-    for name, dag in DAGS:
-        r = dag.min_red_pebbles
-        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=r)
-        opt = solve_optimal(inst)
-
-        # blue-sink convention: append stores for red sinks
-        blue_final = finalize_sinks_blue(inst, opt.schedule)
-        blue_cost = PebblingSimulator(inst).run(
-            blue_final, require_complete=True
-        ).cost
-
-        # single-source transform: same schedule lifted, R+1 pebbles
-        lifted_dag = add_super_source(dag)
-        lifted_inst = PebblingInstance(
-            dag=lifted_dag, model="oneshot", red_limit=r + 1
-        )
-        lifted_cost = PebblingSimulator(lifted_inst).run(
-            lift_schedule_to_super_source(opt.schedule), require_complete=True
-        ).cost
-        lifted_opt = solve_optimal(lifted_inst, return_schedule=False).cost
-
-        rows.append(
-            {
-                "dag": name,
-                "opt": str(opt.cost),
-                "blue-sinks opt<=": str(blue_cost),
-                "sinks": len(dag.sinks),
-                "single-source (lifted)": str(lifted_cost),
-                "single-source opt": str(lifted_opt),
-            }
-        )
-    return rows
+    results = Runner(jobs=0).run(SPEC)
+    run_spec_checks(SPEC.name, results)
+    return results
 
 
 def test_appendix_c_equivalences(benchmark):
-    from fractions import Fraction
-
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    for row in rows:
-        opt = Fraction(row["opt"])
-        # blue-sink convention costs at most one store per sink
-        assert opt <= Fraction(row["blue-sinks opt<="]) <= opt + row["sinks"]
-        # the lifted schedule replays at the original cost, and the
-        # transformed instance's optimum does not exceed it
-        assert Fraction(row["single-source (lifted)"]) == opt
-        assert Fraction(row["single-source opt"]) <= opt
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Appendix C: problem-definition "
-                                          "equivalences (exact optima)"))
+    print(render_table(results_table(reproduce()),
+                       title="Appendix C: problem-definition equivalences "
+                             "(exact optima)"))

@@ -1,81 +1,32 @@
 """Experiment F1 — Figure 1: the constant-degree (CD) gadget cliff.
 
-The paper's claim (Section 3 / Appendix B): the indegree-2 CD gadget is
-free to pebble with |left|+2 red pebbles, but withholding a single pebble
-costs ~2 per layer — a cliff proportional to h, unlike the pyramid gadget
-whose penalty is a constant 2.  We measure the exact optimum at both
-budgets for growing h and reproduce the cliff.
+Thin wrapper over the declarative ``fig1-cd`` spec
+(:mod:`repro.experiments`): exact optima of ``cd:3:H`` at the design
+budget R+1 and one pebble short, with the pyramid contrast as explicit
+extra cells.  The registered assertion suite gates the claim — free at
+R+1, a cliff of at least ~2 per layer at R, growing with h, while the
+pyramid's cliff stays a small constant.
 
 Run standalone:  python benchmarks/bench_fig1_cd_gadget.py
 """
 
-from repro import PebblingInstance
-from repro.analysis import render_table
-from repro.gadgets import cd_gadget_dag
-from repro.generators import pyramid_dag
-from repro.solvers import solve_optimal
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-R = 3  # gadget designed for 3 red pebbles: left side of 2 nodes
-
-
-def measure_gadget(h):
-    dag, info = cd_gadget_dag(R, h)
-    full = solve_optimal(
-        PebblingInstance(dag=dag, model="oneshot", red_limit=R + 1),
-        return_schedule=False,
-    ).cost
-    starved = solve_optimal(
-        PebblingInstance(dag=dag, model="oneshot", red_limit=R),
-        return_schedule=False,
-    ).cost
-    return {
-        "h (layers)": h,
-        "opt with R+1": str(full),
-        "opt with R": str(starved),
-        "cliff": str(starved - full),
-        "paper": ">= ~2(h-1)",
-    }
-
-
-def measure_pyramid_contrast():
-    pyr = pyramid_dag(3)
-    full = solve_optimal(
-        PebblingInstance(dag=pyr, model="oneshot", red_limit=5),
-        return_schedule=False,
-    ).cost
-    starved = solve_optimal(
-        PebblingInstance(dag=pyr, model="oneshot", red_limit=4),
-        return_schedule=False,
-    ).cost
-    return {
-        "h (layers)": "pyramid(3)",
-        "opt with R+1": str(full),
-        "opt with R": str(starved),
-        "cliff": str(starved - full),
-        "paper": "only ~2 (why CD wins)",
-    }
+SPEC = get_spec("fig1-cd")
 
 
 def reproduce():
-    rows = [measure_gadget(h) for h in (1, 2, 3, 4)]
-    rows.append(measure_pyramid_contrast())
-    return rows
+    results = Runner(jobs=0).run(SPEC)
+    run_spec_checks(SPEC.name, results)
+    return results
 
 
 def test_fig1_cd_cliff_grows_with_h(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    gadget_rows = rows[:-1]
-    # free with the designed budget
-    assert all(r["opt with R+1"] == "0" for r in gadget_rows)
-    cliffs = [int(r["cliff"]) for r in gadget_rows]
-    # the cliff grows with h and respects the ~2-per-layer law
-    assert cliffs == sorted(cliffs)
-    assert cliffs[-1] > cliffs[0]
-    for h, cliff in zip((1, 2, 3, 4), cliffs):
-        assert cliff >= 2 * (h - 1)
-    # pyramid contrast: its cliff is a small constant below the CD cliff
-    assert int(rows[-1]["cliff"]) < cliffs[-1]
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Figure 1: CD gadget cost cliff"))
+    print(render_table(results_table(reproduce()),
+                       title="Figure 1: CD gadget cost cliff"))

@@ -1,59 +1,32 @@
 """Experiment F2 — Figure 2: the hard-to-compute (H2C) gadget.
 
-Claims of Section 3, measured exactly:
-
-* computing the guarded node costs exactly 4 transfers (2 stores + 2
-  loads of starter nodes) at the design budget R;
-* re-acquiring the starters after use costs 3 while a store/load round
-  trip on the guarded node costs 2 — so recomputation is never worth it
-  (the 'disable recomputation' mechanism);
-* one extra red pebble above the saturation point removes the cost.
+Thin wrapper over the declarative ``fig2-h2c`` spec
+(:mod:`repro.experiments`): exact optima of the standalone gadget
+across red budgets 4..7 in oneshot and base.  The registered assertion
+suite gates the Section 3 claims — computing the guarded node costs
+exactly 4 transfers at the design budget (recomputation cannot beat the
+gadget in base), and extra pebbles relieve the cost monotonically to 0.
 
 Run standalone:  python benchmarks/bench_fig2_h2c_gadget.py
 """
 
-from repro import PebblingInstance
-from repro.analysis import render_table
-from repro.gadgets import h2c_dag
-from repro.solvers import solve_optimal
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-
-def measure(red_limit, r_design=4, model="oneshot"):
-    dag, _ = h2c_dag(r_design)
-    inst = PebblingInstance(dag=dag, model=model, red_limit=red_limit)
-    res = solve_optimal(inst, return_schedule=False)
-    return res.cost
+SPEC = get_spec("fig2-h2c")
 
 
 def reproduce():
-    rows = []
-    for model in ("oneshot", "base"):
-        for r in (4, 5, 6, 7):
-            cost = measure(r, 4, model)
-            rows.append(
-                {
-                    "model": model,
-                    "R": r,
-                    "opt cost": str(cost),
-                    "paper": "4 at design R" if r == 4 else "",
-                }
-            )
-    return rows
+    results = Runner(jobs=0).run(SPEC)
+    run_spec_checks(SPEC.name, results)
+    return results
 
 
 def test_fig2_guarded_cost_is_four(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    at = {(r["model"], r["R"]): int(r["opt cost"]) for r in rows}
-    # the headline number: cost exactly 4 at the design budget, both in
-    # oneshot and base (recomputation cannot beat the gadget)
-    assert at[("oneshot", 4)] == 4
-    assert at[("base", 4)] == 4
-    # monotone relief with extra pebbles, reaching 0
-    for model in ("oneshot", "base"):
-        costs = [at[(model, r)] for r in (4, 5, 6, 7)]
-        assert costs == sorted(costs, reverse=True)
-        assert costs[-1] == 0
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Figure 2: H2C gadget exact costs"))
+    print(render_table(results_table(reproduce()),
+                       title="Figure 2: H2C gadget exact costs"))

@@ -1,67 +1,32 @@
 """Experiment L1 — Lemma 1: optimal pebblings have O(Delta * n) steps.
 
-The lemma is what puts oneshot/nodel/compcost inside NP.  We measure the
-exact optimal pebbling *length* (number of moves) across a family of
-random and structured DAGs and chart length / (Delta * n), which must stay
-below a fixed constant — while the base model is allowed to exceed it
-(its optima may be superpolynomially long in general).
+Thin wrapper over the declarative ``lemma1-length`` spec
+(:mod:`repro.experiments`): exact optima across structured and random
+DAGs in the three models the lemma puts inside NP.  The registered
+assertion suite gates the normalised bound — optimal length stays below
+5x Delta*n throughout (our explicit accounting gives (4*Delta+4)*n).
 
 Run standalone:  python benchmarks/bench_lemma1_length.py
 """
 
-from repro import PebblingInstance
-from repro.analysis import render_table
-from repro.generators import (
-    grid_stencil_dag,
-    layered_random_dag,
-    pyramid_dag,
-    random_dag,
-)
-from repro.solvers import solve_optimal
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-MODELS = ["oneshot", "nodel", "compcost"]
-
-
-def dag_family():
-    return [
-        ("pyramid(3)", pyramid_dag(3)),
-        ("grid(3x3)", grid_stencil_dag(3, 3)),
-        ("layered", layered_random_dag([3, 3, 2], indegree=2, seed=1)),
-        ("random(8)", random_dag(8, 0.35, seed=2, max_indegree=2)),
-        ("random(9)", random_dag(9, 0.3, seed=5, max_indegree=2)),
-    ]
+SPEC = get_spec("lemma1-length")
 
 
 def reproduce():
-    rows = []
-    for name, dag in dag_family():
-        delta_n = max(1, dag.max_indegree * dag.n_nodes)
-        for model in MODELS:
-            inst = PebblingInstance(
-                dag=dag, model=model, red_limit=dag.min_red_pebbles
-            )
-            res = solve_optimal(inst)
-            rows.append(
-                {
-                    "dag": name,
-                    "model": model,
-                    "n": dag.n_nodes,
-                    "Delta": dag.max_indegree,
-                    "opt length": res.length,
-                    "length/(Delta*n)": f"{res.length / delta_n:.2f}",
-                }
-            )
-    return rows
+    results = Runner(jobs=0).run(SPEC)
+    run_spec_checks(SPEC.name, results)
+    return results
 
 
 def test_lemma1_length_linear_in_delta_n(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    # the Lemma 1 constant: with our explicit accounting the bound is
-    # (4*Delta+4)*n; normalised, lengths stay below 5x Delta*n throughout
-    for row in rows:
-        assert float(row["length/(Delta*n)"]) <= 5.0, row
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Lemma 1: optimal pebbling length "
-                                          "vs Delta*n"))
+    print(render_table(results_table(reproduce()),
+                       title="Lemma 1: optimal pebbling length vs Delta*n "
+                             "(n_moves column)"))

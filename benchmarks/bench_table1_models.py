@@ -1,85 +1,36 @@
 """Experiment T1 — Table 1: operation costs per model.
 
-Reproduces the paper's Table 1 empirically: each operation kind is priced
-by actually executing single moves through the simulator under each model,
-and the resulting matrix is asserted against the CostModel (the
-machine-readable table).  The benchmark times a full 4-model pricing pass.
+Thin wrapper over the declarative ``table1-models`` spec
+(:mod:`repro.experiments`): the ``table1:probe`` method prices each
+operation kind by actually executing single moves through the simulator
+under each model.  The registered assertion suite gates the resulting
+matrix against the CostModel (the machine-readable table).
 
 Run standalone:  python benchmarks/bench_table1_models.py
 """
 
-from fractions import Fraction
-
-from repro import (
-    ALL_MODELS,
-    ComputationDAG,
-    Compute,
-    Delete,
-    IllegalMoveError,
-    Load,
-    Model,
-    PebblingInstance,
-    PebblingSimulator,
-    Store,
-    cost_model_for,
-)
 from repro.analysis import render_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-
-def empirical_operation_costs(model):
-    """Price each of the four operations by running it in a live game."""
-    dag = ComputationDAG(nodes=["x"])
-    inst = PebblingInstance(dag=dag, model=model, red_limit=1)
-    sim = PebblingSimulator(inst)
-
-    state = sim.initial_state()
-    state, compute_cost = sim.step(state, Compute("x"))
-    state, store_cost = sim.step(state, Store("x"))
-    state, load_cost = sim.step(state, Load("x"))
-
-    try:
-        _, delete_cost = sim.step(state, Delete("x"))
-        delete = str(delete_cost)
-    except IllegalMoveError:
-        delete = "inf"
-
-    # recomputation pricing: compute x a second time after demoting it to
-    # blue (Store is legal in every model, unlike Delete)
-    try:
-        s2 = sim.initial_state()
-        s2, _ = sim.step(s2, Compute("x"))
-        s2, _ = sim.step(s2, Store("x"))
-        s2, recompute_cost = sim.step(s2, Compute("x"))
-        compute = str(compute_cost)
-    except IllegalMoveError:
-        compute = f"{compute_cost},inf,inf,..."
-
-    return {
-        "model": model.value,
-        "blue_to_red": str(load_cost),
-        "red_to_blue": str(store_cost),
-        "compute": compute,
-        "delete": delete,
-    }
+SPEC = get_spec("table1-models")
 
 
 def reproduce():
-    rows = [empirical_operation_costs(m) for m in ALL_MODELS]
-    # the empirical matrix must agree with the declared cost models
-    for row, model in zip(rows, ALL_MODELS):
-        assert row == cost_model_for(model).table1_row(), (row, model)
-    return rows
+    results = Runner(jobs=0).run(SPEC)
+    run_spec_checks(SPEC.name, results)
+    return results
 
 
 def test_table1_empirical_pricing(benchmark):
-    rows = benchmark(reproduce)
-    byname = {r["model"]: r for r in rows}
-    assert byname["base"]["compute"] == "0"
-    assert byname["oneshot"]["compute"] == "0,inf,inf,..."
-    assert byname["nodel"]["delete"] == "inf"
-    assert byname["compcost"]["compute"] == "1/100"
-    assert all(r["blue_to_red"] == "1" and r["red_to_blue"] == "1" for r in rows)
+    results = benchmark(reproduce)
+    assert len(results) == SPEC.n_tasks
+    assert all(r.extra["matches_declared"] == "True" for r in results)
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Table 1 (empirically priced)"))
+    rows = [
+        {k: r.extra[k] for k in
+         ("model", "blue_to_red", "red_to_blue", "compute", "delete")}
+        for r in reproduce()
+    ]
+    print(render_table(rows, title="Table 1 (empirically priced)"))

@@ -1,81 +1,33 @@
 """Experiment T2 — Table 2: the model-property matrix, measured.
 
-For each model this measures, on a family of small DAGs:
-
-* the optimal cost against the Table 2 range [lower, (2*Delta+1)*n];
-* the optimal pebbling *length* against the Lemma 1 O(Delta*n) bound
-  (base excluded — its optima may be superpolynomial);
-* the greedy/optimum ratio ordering the table reports (oneshot can be
-  badly beaten; nodel/compcost stay within a constant).
+Thin wrapper over the declarative ``table2-properties`` spec
+(:mod:`repro.experiments`): exact / greedy / baseline cells for every
+model on a family of small DAGs.  The registered assertion suite gates
+the table's rows — the optimal cost sits inside
+[trivial lower bound, (2*Delta+1)*n], optimal lengths respect the
+Lemma 1 bound outside the base model, nodel's cost floor is strictly
+positive while base/oneshot start at 0, and greedy never beats exact.
 
 Run standalone:  python benchmarks/bench_table2_properties.py
 """
 
-from fractions import Fraction
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-from repro import ALL_MODELS, Model, PebblingInstance
-from repro.analysis import render_table
-from repro.generators import grid_stencil_dag, layered_random_dag, pyramid_dag
-from repro.heuristics import greedy_pebble
-from repro.solvers import solve_optimal, trivial_lower_bound, upper_bound_naive
-
-DAGS = [
-    ("pyramid(3)", lambda: pyramid_dag(3)),
-    ("grid(3x3)", lambda: grid_stencil_dag(3, 3)),
-    ("layered", lambda: layered_random_dag([3, 3, 2], indegree=2, seed=5)),
-]
-
-
-def measure_model(model):
-    rows = []
-    for name, factory in DAGS:
-        dag = factory()
-        inst = PebblingInstance(dag=dag, model=model, red_limit=dag.min_red_pebbles)
-        opt = solve_optimal(inst)
-        greedy = greedy_pebble(inst)
-        lo = trivial_lower_bound(dag, model, inst.red_limit)
-        hi = upper_bound_naive(dag, model)
-        assert lo <= opt.cost <= hi, (model, name)
-        length_bound = (4 * dag.max_indegree + 4) * dag.n_nodes + 4
-        if model is not Model.BASE:
-            assert opt.length <= length_bound
-        ratio = (
-            float(greedy.cost / opt.cost) if opt.cost else
-            (1.0 if greedy.cost == 0 else float("inf"))
-        )
-        rows.append(
-            {
-                "model": model.value,
-                "dag": name,
-                "opt": str(opt.cost),
-                "range": f"[{lo}, {hi}]",
-                "opt_len": opt.length,
-                "len_bound": length_bound,
-                "greedy/opt": f"{ratio:.2f}",
-            }
-        )
-    return rows
+SPEC = get_spec("table2-properties")
 
 
 def reproduce():
-    rows = []
-    for model in ALL_MODELS:
-        rows.extend(measure_model(model))
-    return rows
+    results = Runner(jobs=0).run(SPEC)
+    run_spec_checks(SPEC.name, results)
+    return results
 
 
 def test_table2_cost_ranges_and_lengths(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    assert len(rows) == len(ALL_MODELS) * len(DAGS)
-    # nodel rows must have a strictly positive lower end (the ~n floor)
-    nodel_rows = [r for r in rows if r["model"] == "nodel"]
-    assert all(not r["range"].startswith("[0,") for r in nodel_rows)
-    # base/oneshot ranges start at 0
-    for m in ("base", "oneshot"):
-        assert all(
-            r["range"].startswith("[0,") for r in rows if r["model"] == m
-        )
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Table 2 (measured on small DAGs)"))
+    print(render_table(results_table(reproduce()),
+                       title="Table 2 (measured on small DAGs)"))

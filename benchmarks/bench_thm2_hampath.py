@@ -1,82 +1,47 @@
 """Experiment F5/Thm2 — Theorem 2: NP-hardness via Hamiltonian Path.
 
-For random graphs, the optimal pebbling cost of the Figure 5 construction
-sits exactly at the decision threshold iff the graph has a Hamiltonian
-path — in all four model variants.  The benchmark sweeps random instances,
-compares the pebbling verdict with an independent Held-Karp Hamiltonian
-solver, and reports the cost gap separating yes- from no-instances.
+Thin wrapper over the declarative ``thm2-hampath`` and ``thm2-ordering``
+specs (:mod:`repro.experiments`): the grids sweep planted and random
+graphs across all four models, and the registered assertion suites gate
+the theorem's claims — pebbling verdict == Hamiltonian ground truth,
+zero gap exactly on yes-instances, a >= 2 gap on no-instances, and the
+visit-order solvers (Held-Karp / brute force / NN+2-opt) agreeing on
+the optimum.
 
 Run standalone:  python benchmarks/bench_thm2_hampath.py
 """
 
-from repro.analysis import render_table
-from repro.generators import planted_hampath_graph, random_graph
-from repro.npc import has_hamiltonian_path
-from repro.reductions import hampath_reduction
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-MODELS = ["oneshot", "nodel", "base", "compcost"]
-N = 8
+SPEC = get_spec("thm2-hampath")
+ORDERING_SPEC = get_spec("thm2-ordering")
 
 
-def instances():
-    graphs = [("planted", planted_hampath_graph(N, extra_edges=4, seed=s))
-              for s in range(2)]
-    graphs += [("random", random_graph(N, 0.3, seed=s)) for s in range(4)]
-    return graphs
-
-
-def reproduce():
-    rows = []
-    for model in MODELS:
-        for kind, g in instances():
-            red = hampath_reduction(g, model)
-            cost, _ = red.optimal_order()
-            threshold = red.decision_threshold()
-            verdict = cost <= threshold
-            truth = has_hamiltonian_path(g)
-            assert verdict == truth, (model, kind, cost, threshold)
-            rows.append(
-                {
-                    "model": model,
-                    "graph": f"{kind}(n={g.n},m={g.m})",
-                    "opt cost": str(cost),
-                    "threshold": str(threshold),
-                    "pebbling says": "HAM" if verdict else "no",
-                    "truth": "HAM" if truth else "no",
-                }
-            )
-    return rows
+def reproduce(spec=SPEC):
+    results = Runner(jobs=0).run(spec)
+    run_spec_checks(spec.name, results)
+    return results
 
 
 def test_thm2_reduction_decides_hampath(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    assert all(r["pebbling says"] == r["truth"] for r in rows)
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
     # both verdicts occur in the sweep (the experiment separates)
-    verdicts = {r["truth"] for r in rows}
-    assert verdicts == {"HAM", "no"}
+    assert {r.extra["truth"] for r in results} == {"HAM", "no"}
 
 
-def test_thm2_gap_is_sharp_oneshot(benchmark):
-    """No-instances cost at least threshold + 2 in oneshot (one missed
-    adjacency = one extra store+load round trip)."""
-
-    def run():
-        gaps = []
-        for seed in range(6):
-            g = random_graph(7, 0.35, seed=seed)
-            red = hampath_reduction(g, "oneshot")
-            cost, _ = red.optimal_order()
-            gaps.append((cost - red.decision_threshold(), has_hamiltonian_path(g)))
-        return gaps
-
-    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
-    for gap, is_ham in gaps:
-        if is_ham:
-            assert gap == 0
-        else:
-            assert gap >= 2
+def test_thm2_order_solvers_agree(benchmark):
+    results = benchmark.pedantic(
+        reproduce, args=(ORDERING_SPEC,), rounds=1, iterations=1
+    )
+    assert len(results) == ORDERING_SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Theorem 2: pebbling cost vs "
-                                          "Hamiltonian-path threshold"))
+    print(render_table(results_table(reproduce()),
+                       title="Theorem 2: pebbling cost vs Hamiltonian-path "
+                             "threshold (cost by model)"))
+    print()
+    print(render_table(results_table(reproduce(ORDERING_SPEC)),
+                       title="Theorem 2 visit-order solvers"))

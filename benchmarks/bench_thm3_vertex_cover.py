@@ -1,108 +1,45 @@
 """Experiment F6/F7/Thm3 — Theorem 3: 2-inapproximability via Vertex Cover.
 
-Measures, on the Figures 6-7 construction:
-
-* the pebbling cost of the VC-driven strategy ~ 2k'|VC| + O(N^2), with
-  the dominant term taking over as k grows;
-* the cost ratio between the 2-approximate-cover strategy and the
-  minimum-cover strategy — the factor that (by Theorem 3 + UGC) no
-  polynomial pebbling algorithm can beat below 2;
-* the implied-cover correspondence: reading a vertex cover back off a
-  pebbling's visit sequence.
+Thin wrapper over the declarative ``thm3-vertex-cover`` and
+``thm3-ksweep`` specs (:mod:`repro.experiments`).  The registered
+assertion suites gate the theorem's accounting: the 2k'|VC| dominant
+term is a true lower bound of the measured strategy cost, the
+pebbling-cost ratio between the 2-approximate and minimum cover
+strategies stays within the cover-size ratio (+ O(N^2)/k slack), the
+implied-cover correspondence round-trips, and cost / 2k'|VC| converges
+monotonically to 1 as k grows.
 
 Run standalone:  python benchmarks/bench_thm3_vertex_cover.py
 """
 
-from repro.analysis import render_table
-from repro.generators import cycle_graph, random_graph
-from repro.npc import min_vertex_cover, vertex_cover_2approx
-from repro.reductions import vertex_cover_reduction
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
+
+SPEC = get_spec("thm3-vertex-cover")
+KSWEEP_SPEC = get_spec("thm3-ksweep")
 
 
-def measure(graph, k):
-    red = vertex_cover_reduction(graph, k=k)
-    vc = min_vertex_cover(graph)
-    approx = vertex_cover_2approx(graph)
-    opt_cost = red.cost_of_cover(vc)
-    approx_cost = red.cost_of_cover(approx)
-    return {
-        "graph": f"n={graph.n},m={graph.m}",
-        "k": k,
-        "|VC*|": len(vc),
-        "|VC2|": len(approx),
-        "cost(VC*)": str(opt_cost),
-        "2k'|VC*|": red.dominant_term(len(vc)),
-        "cost(VC2)": str(approx_cost),
-        "ratio": f"{float(approx_cost / opt_cost):.3f}",
-        "vc ratio": f"{len(approx) / len(vc):.3f}",
-    }
-
-
-def reproduce():
-    rows = []
-    for seed in range(3):
-        g = random_graph(7, 0.4, seed=seed)
-        if g.m == 0:
-            continue
-        rows.append(measure(g, k=80))
-    rows.append(measure(cycle_graph(8), k=80))
-    return rows
-
-
-def reproduce_k_sweep():
-    """Dominant-term convergence: cost / 2k'|VC| -> 1 as k grows."""
-    g = cycle_graph(6)
-    vc_size = len(min_vertex_cover(g))
-    rows = []
-    for k in (12, 30, 80, 200):
-        red = vertex_cover_reduction(g, k=k)
-        cost = red.optimal_cost_upper_bound()
-        dom = red.dominant_term(vc_size)
-        rows.append(
-            {
-                "k": k,
-                "k'": red.k_common,
-                "cost": str(cost),
-                "2k'|VC*|": dom,
-                "cost / dominant": f"{float(cost) / dom:.4f}",
-            }
-        )
-    return rows
+def reproduce(spec=SPEC):
+    results = Runner(jobs=0).run(spec)
+    run_spec_checks(spec.name, results)
+    return results
 
 
 def test_thm3_cost_tracks_cover_size(benchmark):
-    from fractions import Fraction
-
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    for row in rows:
-        # dominant term is a true lower bound of the measured cost and
-        # within the O(N^2) slack of it
-        cost = Fraction(row["cost(VC*)"])
-        assert cost >= row["2k'|VC*|"]
-        # pebbling-cost ratio is bounded by the cover-size ratio (+slack)
-        assert float(row["ratio"]) <= float(row["vc ratio"]) + 0.35
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 def test_thm3_dominant_term_converges(benchmark):
-    rows = benchmark.pedantic(reproduce_k_sweep, rounds=1, iterations=1)
-    ratios = [float(r["cost / dominant"]) for r in rows]
-    assert ratios == sorted(ratios, reverse=True)  # monotone convergence
-    assert ratios[-1] < 1.05  # within 5% at k=200
-
-    # and the implied-cover correspondence round-trips
-    from repro.generators import cycle_graph as cg
-    from repro.npc import min_vertex_cover as mvc
-
-    g = cg(6)
-    red = vertex_cover_reduction(g, k=12)
-    vc = mvc(g)
-    seq = red.sequence_for_cover(vc)
-    assert red.implied_cover(seq) == vc
+    results = benchmark.pedantic(
+        reproduce, args=(KSWEEP_SPEC,), rounds=1, iterations=1
+    )
+    assert len(results) == KSWEEP_SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Theorem 3: pebbling cost vs "
-                                          "vertex cover (k=80)"))
+    print(render_table(results_table(reproduce()),
+                       title="Theorem 3: pebbling cost vs vertex cover (k=80)"))
     print()
-    print(render_table(reproduce_k_sweep(),
+    print(render_table(results_table(reproduce(KSWEEP_SPEC)),
                        title="dominant-term convergence on C6"))

@@ -1,85 +1,44 @@
 """Experiment F8/Thm4 — Theorem 4: greedy is Theta~(n) worse than optimal.
 
-On the Figure 8 grid, the actual group-level greedy (most red pebbles
-among enabled groups):
-
-1. follows exactly the misguided column walk the paper predicts;
-2. pays ~2k' per diagonal revisit, totalling 2k'*Theta(l^2);
-3. falls behind the optimal diagonal sweep by a ratio that grows with
-   the instance (Theta~(n) at the paper's parameterisation
-   k' = Theta~(n/l); Theta~(sqrt n) after the constant-indegree
-   transformation of Appendix B).
+Thin wrapper over the declarative ``thm4-greedy-grid`` and
+``thm4-kprime`` specs (:mod:`repro.experiments`).  The registered
+assertion suites gate the theorem's anatomy: the actual group-level
+greedy follows exactly the misguided column walk the paper predicts,
+the greedy/optimal ratio grows with the instance (clearing sqrt(n) at
+the largest size), and at fixed l the greedy cost is linear in k' while
+the optimum barely moves.
 
 Run standalone:  python benchmarks/bench_thm4_greedy_grid.py
 """
 
-import math
+from repro.analysis import render_table, results_table
+from repro.experiments import Runner, get_spec, run_spec_checks
 
-from repro import PebblingSimulator
-from repro.analysis import render_table
-from repro.reductions import greedy_grid_construction, grid_group_greedy
-
-SIZES = [(3, 6), (4, 12), (5, 20), (6, 30), (7, 45)]
+SPEC = get_spec("thm4-greedy-grid")
+KPRIME_SPEC = get_spec("thm4-kprime")
 
 
-def measure(l, k_common):
-    c = greedy_grid_construction(l, k_common)
-    sched, seq = grid_group_greedy(c)
-    followed = seq == c.predicted_greedy_sequence()
-    greedy_cost = PebblingSimulator(c.instance()).run(
-        sched, require_complete=True
-    ).cost
-    opt_cost = c.cost_of_sequence(c.optimal_sequence())
-    n = c.system.dag.n_nodes
-    return {
-        "l": l,
-        "k'": k_common,
-        "n nodes": n,
-        "greedy": str(greedy_cost),
-        "optimal": str(opt_cost),
-        "ratio": f"{float(greedy_cost / opt_cost):.2f}",
-        "ratio / sqrt(n)": f"{float(greedy_cost / opt_cost) / math.sqrt(n):.3f}",
-        "followed prediction": followed,
-    }
-
-
-def reproduce():
-    return [measure(l, kc) for l, kc in SIZES]
+def reproduce(spec=SPEC):
+    results = Runner(jobs=0).run(spec)
+    run_spec_checks(spec.name, results)
+    return results
 
 
 def test_thm4_greedy_misguided_and_ratio_grows(benchmark):
-    rows = benchmark.pedantic(reproduce, rounds=1, iterations=1)
-    # 1. greedy always walks into the trap
-    assert all(r["followed prediction"] for r in rows)
-    # 2. the ratio grows monotonically with the instance
-    ratios = [float(r["ratio"]) for r in rows]
-    assert ratios == sorted(ratios)
-    assert ratios[-1] > 3 * ratios[0]
-    # 3. at the paper's scaling the ratio clears sqrt(n) for the larger
-    #    instances (the unrestricted-indegree law is Theta~(n))
-    assert float(rows[-1]["ratio / sqrt(n)"]) > 0.5
+    results = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+    assert len(results) == SPEC.n_tasks
 
 
 def test_thm4_greedy_cost_linear_in_commons(benchmark):
-    """The 2k' * Theta(l^2) anatomy: at fixed l, greedy cost is linear in
-    k' while the optimum is flat."""
-
-    def run():
-        out = []
-        for kc in (8, 16, 32):
-            c = greedy_grid_construction(5, kc)
-            sched, _ = grid_group_greedy(c)
-            g = PebblingSimulator(c.instance()).run(sched, require_complete=True).cost
-            o = c.cost_of_sequence(c.optimal_sequence())
-            out.append((kc, g, o))
-        return out
-
-    out = benchmark.pedantic(run, rounds=1, iterations=1)
-    (k1, g1, o1), (k2, g2, o2), (k3, g3, o3) = out
-    assert 1.7 < float(g2 / g1) < 2.3 and 1.7 < float(g3 / g2) < 2.3
-    assert float(o3 / o1) < 1.5  # optimum barely notices k'
+    results = benchmark.pedantic(
+        reproduce, args=(KPRIME_SPEC,), rounds=1, iterations=1
+    )
+    assert len(results) == KPRIME_SPEC.n_tasks
 
 
 if __name__ == "__main__":
-    print(render_table(reproduce(), title="Theorem 4: greedy vs optimal on "
-                                          "the Figure 8 grid"))
+    print(render_table(results_table(reproduce()),
+                       title="Theorem 4: greedy vs optimal on the Figure 8 grid"))
+    print()
+    print(render_table(results_table(reproduce(KPRIME_SPEC)),
+                       title="Theorem 4: greedy cost is linear in k'"))

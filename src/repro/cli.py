@@ -14,14 +14,23 @@ bench      experiment runner: list/run/compare declarative specs
 
 Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
 ``grid:RxC``, ``butterfly:K``, ``matmul:N``, ``tasks:WxC``,
-``layered:L1-...-Lk[:dD][:sS]``, ``tradeoff:DxN``, or ``@file.json``
-(see :mod:`repro.generators.specs`).
+``layered:L1-...-Lk[:dD][:sS]``, ``tradeoff:DxN``, ``rand:N:P[:dD][:sS]``,
+the hardness constructions ``hampath:GRAPH`` / ``vc:GRAPH[:kK]`` /
+``ggrid:LxK`` / ``cd:R:H`` / ``h2c:R``, or ``@file.json``
+(see :mod:`repro.generators.specs`, including the graph-spec grammar
+the reductions embed).
 
 The ``bench`` subcommand drives :mod:`repro.experiments`::
 
     repro-pebble bench list
     repro-pebble bench run sec3-bounds --jobs 4 --out results.json
+    repro-pebble bench run hardness-smoke --jobs 2
     repro-pebble bench compare before.json after.json
+
+After a run, every assertion suite registered for the spec (see
+:func:`repro.experiments.register_check`) is executed against the
+results; a violated theorem invariant fails the command like a task
+error would (``--no-check`` skips the suites).
 """
 
 from __future__ import annotations
@@ -186,7 +195,7 @@ def cmd_bench_list(args) -> int:
 
 def cmd_bench_run(args) -> int:
     from .analysis.experiments import results_table, summarize_results
-    from .experiments import Runner, get_spec
+    from .experiments import Runner, checks_for, get_spec, run_spec_checks
     from .io import run_results_to_csv, run_results_to_json
 
     if args.jobs < 0:
@@ -239,7 +248,24 @@ def cmd_bench_run(args) -> int:
         f"({summary['wall_time']}s task time)"
     )
     failed = summary["timeout"] + summary["error"]
-    return 1 if failed else 0
+
+    checks_failed = 0
+    if not args.no_check:
+        for spec in specs:
+            if not checks_for(spec.name):
+                continue
+            spec_results = [r for r in all_results if r.spec == spec.name]
+            try:
+                n = run_spec_checks(spec.name, spec_results)
+            except AssertionError as exc:
+                checks_failed += 1
+                print(f"CHECK FAILED {exc}")
+            except Exception as exc:  # e.g. stale cached extras missing a key
+                checks_failed += 1
+                print(f"CHECK FAILED [{spec.name}] {type(exc).__name__}: {exc}")
+            else:
+                print(f"[{spec.name}] {n} assertion suite(s) passed")
+    return 1 if failed or checks_failed else 0
 
 
 def _load_results(path: str):
@@ -349,6 +375,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--refresh", action="store_true",
                    help="recompute cached cells (and rewrite them)")
     p.add_argument("--quiet", action="store_true", help="no per-task progress lines")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the spec's registered assertion suites")
     p.set_defaults(fn=cmd_bench_run)
 
     p = bench_sub.add_parser("compare", help="render or compare result artifacts")

@@ -26,7 +26,15 @@ or from the shell::
 """
 
 from .methods import MethodOutcome, method_names, resolve_method
-from .registry import BUILTIN_SPECS, all_specs, get_spec, register_spec
+from .registry import (
+    BUILTIN_SPECS,
+    all_specs,
+    checks_for,
+    get_spec,
+    register_check,
+    register_spec,
+    run_spec_checks,
+)
 from .results import RunResult, RunStatus
 from .runner import Runner, execute_task
 from .spec import ExperimentSpec, TaskSpec, resolve_red_limit
@@ -45,5 +53,8 @@ __all__ = [
     "register_spec",
     "get_spec",
     "all_specs",
+    "register_check",
+    "checks_for",
+    "run_spec_checks",
     "BUILTIN_SPECS",
 ]

@@ -40,6 +40,42 @@ name                     behaviour
                          hierarchy alone)
 ``sleep:SECONDS``        test/diagnostic hook: sleeps, then reports cost 0
 =======================  ====================================================
+
+Hardness-workload methods (the Theorems 2-4 reductions as measurable
+strategies; each rebuilds its reduction from the task's DAG spec string
+and cross-checks the analytic cost against the simulator at runtime):
+
+=======================  ====================================================
+name                     behaviour (required DAG spec in parentheses)
+=======================  ====================================================
+``hampath:decide``       (``hampath:GRAPH``) Theorem 2 run backwards:
+                         Held-Karp over visit orders, verdict vs the
+                         decision threshold, ground truth from the
+                         independent Hamiltonian solver in ``extra``
+``hampath:cd``           (``hampath:GRAPH``) Appendix B: the optimal
+                         order replayed on the Delta=2 constant-degree
+                         transform (oneshot; cost must be identical)
+``group:hk``             (``hampath:GRAPH``) exact visit-order optimum
+                         by Held-Karp subset DP
+``group:brute``          (``hampath:GRAPH``) permutation enumeration
+                         (tiny N; the order-solver oracle)
+``group:nn2opt``         (``hampath:GRAPH``) nearest-neighbour + 2-opt
+                         — the scalable heuristic order
+``vc:opt``               (``vc:GRAPH[:kK]``) Theorem 3: the strategy
+                         driven by an exact minimum vertex cover
+``vc:2approx``           (``vc:GRAPH[:kK]``) the maximal-matching
+                         2-approximate cover strategy (the UGC factor)
+``grid:greedy``          (``ggrid:LxK``) Theorem 4: the actual
+                         group-level greedy walking the Figure 8 grid
+``grid:opt``             (``ggrid:LxK``) the paper's diagonal sweep
+``grid:cdgreedy``        (``ggrid:LxK``) both of the above on the
+``grid:cdopt``           Appendix B Delta=2 transform of the grid
+``table1:probe``         (any 1-source DAG) Table 1: each operation
+                         priced by live single moves, asserted against
+                         the declared :class:`CostModel`
+``appendixc``            (any small DAG) Appendix C: exact optimum vs
+                         the blue-sink and super-source conventions
+=======================  ====================================================
 """
 
 from __future__ import annotations
@@ -236,6 +272,284 @@ def _run_multilevel(kind: str, hier: Optional[str]) -> MethodFn:
     return run
 
 
+# --------------------------------------------------------------------- #
+# hardness-workload methods (Theorems 2-4, Appendices B/C, Tables)
+# --------------------------------------------------------------------- #
+
+
+def _spec_arg(task: TaskSpec, expected: str) -> str:
+    """The argument of a ``expected:...`` DAG spec; raises otherwise."""
+    kind, _, arg = task.dag.partition(":")
+    if kind != expected or not arg:
+        raise ValueError(
+            f"method {task.method!r} needs a {expected}:... DAG spec, "
+            f"got {task.dag!r}"
+        )
+    return arg
+
+
+def _hampath_reduction_for(task: TaskSpec, inst: PebblingInstance):
+    from ..generators.specs import graph_from_spec
+    from ..reductions.hampath import hampath_reduction
+
+    graph = graph_from_spec(_spec_arg(task, "hampath"))
+    red = hampath_reduction(graph, inst.model, epsilon=inst.epsilon)
+    return graph, red
+
+
+def _simulated_order_cost(red, order) -> "tuple[Fraction, int]":
+    """Replay the canonical strategy for ``order`` through the simulator
+    (on the reduction's own instance — the H2C variant for base/compcost)
+    and return (cost, moves)."""
+    sched = red.schedule_for_order(order)
+    res = PebblingSimulator(red.instance()).run(sched, require_complete=True)
+    return res.cost, len(sched)
+
+
+def _run_hampath_decide(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..npc.hamiltonian import has_hamiltonian_path
+
+    graph, red = _hampath_reduction_for(task, inst)
+    cost, order = red.optimal_order()
+    sim_cost, n_moves = _simulated_order_cost(red, order)
+    if sim_cost != cost:
+        raise RuntimeError(
+            f"hampath formula cost {cost} != simulated cost {sim_cost}"
+        )
+    threshold = red.decision_threshold()
+    verdict = cost <= threshold
+    truth = has_hamiltonian_path(graph)
+    return MethodOutcome(
+        cost=cost,
+        n_moves=n_moves,
+        extra={
+            "threshold": str(threshold),
+            "verdict": "HAM" if verdict else "no",
+            "truth": "HAM" if truth else "no",
+            "gap": str(cost - threshold),
+            "adjacent_pairs": str(red.adjacent_consecutive(order)),
+        },
+    )
+
+
+def _run_hampath_cd(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..core.models import Model
+    from ..npc.hamiltonian import has_hamiltonian_path
+    from ..reductions.constant_degree import constant_degree_system
+
+    if inst.model is not Model.ONESHOT:
+        raise ValueError("method 'hampath:cd' plays the oneshot model only")
+    graph, red = _hampath_reduction_for(task, inst)
+    cd = constant_degree_system(red.system, layers=3)
+    plain_cost, order = red.optimal_order()
+    sched = cd.emit_visit_schedule(order, "oneshot")
+    res = PebblingSimulator(cd.instance("oneshot")).run(sched, require_complete=True)
+    return MethodOutcome(
+        cost=res.cost,
+        n_moves=len(sched),
+        extra={
+            "plain_cost": str(plain_cost),
+            "identical": str(res.cost == plain_cost),
+            "max_indegree": str(cd.dag.max_indegree),
+            "threshold": str(red.decision_threshold()),
+            "truth": "HAM" if has_hamiltonian_path(graph) else "no",
+        },
+    )
+
+
+def _run_group_order(which: str) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..solvers.group import (
+            brute_force_min_order,
+            held_karp_min_order,
+            nearest_neighbor_order,
+            two_opt_improve,
+        )
+
+        _, red = _hampath_reduction_for(task, inst)
+        start, trans, offset = red.transition_matrix()
+        if which == "hk":
+            path_cost, order = held_karp_min_order(start, trans)
+        elif which == "brute":
+            path_cost, order = brute_force_min_order(start, trans)
+        else:  # nn2opt
+            _, nn_order = nearest_neighbor_order(start, trans)
+            path_cost, order = two_opt_improve(nn_order, start, trans)
+        cost = path_cost + offset
+        sim_cost, n_moves = _simulated_order_cost(red, order)
+        if sim_cost != cost:
+            raise RuntimeError(
+                f"order-solver cost {cost} != simulated cost {sim_cost}"
+            )
+        return MethodOutcome(
+            cost=cost,
+            n_moves=n_moves,
+            extra={
+                "optimizer": which,
+                "order": "".join(map(str, order)) if red.n <= 10 else str(order),
+                "adjacent_pairs": str(red.adjacent_consecutive(order)),
+            },
+        )
+
+    return run
+
+
+def _run_vc(which: str) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..generators.specs import graph_from_spec, split_vc_spec
+        from ..npc.vertex_cover import min_vertex_cover, vertex_cover_2approx
+        from ..reductions.vertex_cover import vertex_cover_reduction
+
+        graph_spec, k = split_vc_spec(_spec_arg(task, "vc"))
+        graph = graph_from_spec(graph_spec)
+        red = vertex_cover_reduction(graph, k)
+        cover = min_vertex_cover(graph) if which == "opt" else vertex_cover_2approx(graph)
+        seq = red.sequence_for_cover(cover)
+        sched = red.schedule_for_sequence(seq, inst.model)
+        cost = PebblingSimulator(red.instance(inst.model)).run(
+            sched, require_complete=True
+        ).cost
+        return MethodOutcome(
+            cost=cost,
+            n_moves=len(sched),
+            extra={
+                "cover_size": str(len(cover)),
+                "k_common": str(red.k_common),
+                "dominant_term": str(red.dominant_term(len(cover))),
+                "cover_roundtrip": str(red.implied_cover(seq) == frozenset(cover)),
+            },
+        )
+
+    return run
+
+
+def _run_grid(which: str) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from ..reductions.constant_degree import constant_degree_system
+        from ..reductions.greedy_grid import (
+            greedy_grid_construction,
+            grid_group_greedy,
+        )
+
+        arg = _spec_arg(task, "ggrid")
+        l, _, kc = arg.partition("x")
+        c = greedy_grid_construction(int(l), int(kc))
+        extra: Dict[str, str] = {
+            "n_nodes": str(c.system.dag.n_nodes),
+            "k_common": str(c.k_common),
+        }
+        if which in ("greedy", "opt"):
+            if which == "greedy":
+                sched, seq = grid_group_greedy(c, inst.model)
+                extra["followed_prediction"] = str(
+                    seq == c.predicted_greedy_sequence()
+                )
+            else:
+                seq = c.optimal_sequence()
+                sched = c.schedule_for_sequence(seq, inst.model)
+            res = PebblingSimulator(c.instance(inst.model)).run(
+                sched, require_complete=True
+            )
+            return MethodOutcome(cost=res.cost, n_moves=len(sched), extra=extra)
+        # cdgreedy / cdopt: the Appendix B Delta=2 transform of the grid
+        cd = constant_degree_system(c.system, layers=2)
+        seq = (
+            c.predicted_greedy_sequence()
+            if which == "cdgreedy"
+            else c.optimal_sequence()
+        )
+        sched = cd.emit_visit_schedule(seq, inst.model)
+        res = PebblingSimulator(cd.instance(inst.model)).run(
+            sched, require_complete=True
+        )
+        extra["n_nodes"] = str(cd.dag.n_nodes)
+        extra["max_indegree"] = str(cd.dag.max_indegree)
+        return MethodOutcome(cost=res.cost, n_moves=len(sched), extra=extra)
+
+    return run
+
+
+def _run_table1_probe(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..core.dag import ComputationDAG
+    from ..core.errors import IllegalMoveError
+    from ..core.models import cost_model_for
+    from ..core.moves import Compute, Delete, Load, Store
+
+    dag = ComputationDAG(nodes=["x"])
+    probe = PebblingInstance(
+        dag=dag, model=inst.model, red_limit=1, epsilon=inst.epsilon
+    )
+    sim = PebblingSimulator(probe)
+    total = Fraction(0)
+
+    state = sim.initial_state()
+    state, compute_cost = sim.step(state, Compute("x"))
+    state, store_cost = sim.step(state, Store("x"))
+    state, load_cost = sim.step(state, Load("x"))
+    total += compute_cost + store_cost + load_cost
+    n_moves = 3
+    try:
+        _, delete_cost = sim.step(state, Delete("x"))
+        delete = str(delete_cost)
+        total += delete_cost
+        n_moves += 1
+    except IllegalMoveError:
+        delete = "inf"
+    try:
+        s2 = sim.initial_state()
+        s2, _ = sim.step(s2, Compute("x"))
+        s2, _ = sim.step(s2, Store("x"))
+        sim.step(s2, Compute("x"))  # recomputation probe
+        compute = str(compute_cost)
+    except IllegalMoveError:
+        compute = f"{compute_cost},inf,inf,..."
+
+    row = {
+        "model": inst.model.value,
+        "blue_to_red": str(load_cost),
+        "red_to_blue": str(store_cost),
+        "compute": compute,
+        "delete": delete,
+    }
+    declared = cost_model_for(inst.model).table1_row()
+    extra = dict(row)
+    extra["matches_declared"] = str(row == declared)
+    return MethodOutcome(cost=total, n_moves=n_moves, extra=extra)
+
+
+def _run_appendix_c(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    from ..gadgets.transforms import (
+        add_super_source,
+        finalize_sinks_blue,
+        lift_schedule_to_super_source,
+    )
+    from ..solvers.exact import solve_optimal
+
+    opt = solve_optimal(inst)
+    blue_final = finalize_sinks_blue(inst, opt.schedule)
+    blue_cost = PebblingSimulator(inst).run(blue_final, require_complete=True).cost
+    lifted_inst = PebblingInstance(
+        dag=add_super_source(inst.dag),
+        model=inst.model,
+        red_limit=inst.red_limit + 1,
+        epsilon=inst.epsilon,
+    )
+    lifted_cost = PebblingSimulator(lifted_inst).run(
+        lift_schedule_to_super_source(opt.schedule), require_complete=True
+    ).cost
+    lifted_opt = solve_optimal(lifted_inst, return_schedule=False).cost
+    return MethodOutcome(
+        cost=opt.cost,
+        n_moves=opt.length,
+        extra={
+            "blue_sinks_cost": str(blue_cost),
+            "n_sinks": str(len(inst.dag.sinks)),
+            "super_source_lifted": str(lifted_cost),
+            "super_source_opt": str(lifted_opt),
+        },
+    )
+
+
 def _run_sleep(seconds: float) -> MethodFn:
     def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
         time.sleep(seconds)
@@ -254,6 +568,20 @@ _FIXED: Dict[str, MethodFn] = {
     "local-search": _run_local_search(2000),
     "ml:exact": _run_multilevel("exact", None),
     "ml:topo": _run_multilevel("topo", None),
+    # hardness workloads (Theorems 2-4, appendices, tables)
+    "hampath:decide": _run_hampath_decide,
+    "hampath:cd": _run_hampath_cd,
+    "group:hk": _run_group_order("hk"),
+    "group:brute": _run_group_order("brute"),
+    "group:nn2opt": _run_group_order("nn2opt"),
+    "vc:opt": _run_vc("opt"),
+    "vc:2approx": _run_vc("2approx"),
+    "grid:greedy": _run_grid("greedy"),
+    "grid:opt": _run_grid("opt"),
+    "grid:cdgreedy": _run_grid("cdgreedy"),
+    "grid:cdopt": _run_grid("cdopt"),
+    "table1:probe": _run_table1_probe,
+    "appendixc": _run_appendix_c,
 }
 
 _GREEDY_RULES = ("most-red-inputs", "fewest-blue-inputs", "red-ratio")

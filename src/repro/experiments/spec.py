@@ -124,6 +124,12 @@ class ExperimentSpec:
         Method names resolved by :mod:`repro.experiments.methods`.
     red_limits:
         Spec-level R sweep applied to every unpinned DAG.
+    cells:
+        Explicit extra cells appended after the cartesian grid, each a
+        ``(dag, model, method, red_limit)`` tuple.  This is how a spec
+        mixes method families that only apply to some of its DAGs (e.g.
+        the ``hardness-smoke`` spec pairing ``vc:*`` methods with
+        ``vc:...`` DAGs next to a ``hampath:*`` grid).
     epsilon:
         Compute cost for compcost instances, as an exact fraction string.
     timeout:
@@ -139,6 +145,7 @@ class ExperimentSpec:
     models: Tuple[str, ...] = ("oneshot",)
     methods: Tuple[str, ...] = ("baseline",)
     red_limits: Tuple[RedSpec, ...] = ("min",)
+    cells: Tuple[Tuple[str, str, str, RedSpec], ...] = ()
     epsilon: str = "1/100"
     timeout: Optional[float] = None
     tags: Tuple[str, ...] = ()
@@ -148,9 +155,17 @@ class ExperimentSpec:
             value = getattr(self, fname)
             if not isinstance(value, tuple):
                 object.__setattr__(self, fname, tuple(value))
+        if not isinstance(self.cells, tuple):
+            object.__setattr__(self, "cells", tuple(tuple(c) for c in self.cells))
+        for cell in self.cells:
+            if len(cell) != 4:
+                raise ValueError(
+                    f"spec {self.name!r}: cells need (dag, model, method, red), "
+                    f"got {cell!r}"
+                )
         if not self.name:
             raise ValueError("ExperimentSpec needs a non-empty name")
-        if not self.dags:
+        if not self.dags and not self.cells:
             raise ValueError(f"spec {self.name!r} has no DAGs")
 
     @property
@@ -177,6 +192,18 @@ class ExperimentSpec:
                                 timeout=self.timeout,
                             )
                         )
+        for dag, model, method, red in self.cells:
+            out.append(
+                TaskSpec(
+                    spec=self.name,
+                    dag=dag,
+                    model=model,
+                    method=method,
+                    red_limit=red,
+                    epsilon=self.epsilon,
+                    timeout=self.timeout,
+                )
+            )
         return out
 
     def describe(self) -> str:

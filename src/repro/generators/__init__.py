@@ -20,10 +20,11 @@ from .graphs import (
     star_graph,
 )
 from .random_dags import layered_random_dag, random_dag, random_in_tree
-from .specs import dag_from_spec, hierarchy_from_spec
+from .specs import dag_from_spec, graph_from_spec, hierarchy_from_spec
 
 __all__ = [
     "dag_from_spec",
+    "graph_from_spec",
     "hierarchy_from_spec",
     "UndirectedGraph",
     "pyramid_dag",

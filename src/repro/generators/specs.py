@@ -20,7 +20,42 @@ Supported specs
                          ``layered:3-3-2:d2:s9``
 ``tradeoff:DxN``         Figure 3 tradeoff gadget (groups of size D,
                          chain of length N)
+``rand:N:P[:dD][:sS]``   Erdős–Rényi-style random DAG, indegree cap D,
+                         seed S
 ``@path.json``           DAG loaded from a JSON file
+
+Hardness-workload specs (the Theorems 2-4 constructions; the embedded
+``GRAPH`` argument is a *graph spec*, see below)
+------------------------------------------------
+``hampath:GRAPH``        Theorem 2 / Figure 5: the Hamiltonian-path
+                         reduction DAG (plain contact-group form; the
+                         base/compcost H2C variant is built by the
+                         ``hampath:*`` experiment methods per model)
+``vc:GRAPH[:kK]``        Theorem 3 / Figures 6-7: the vertex-cover
+                         reduction DAG with group size k
+                         (default N^2+N+1)
+``ggrid:LxK``            Theorem 4 / Figure 8: the greedy-defeating
+                         triangular grid with L columns and K common
+                         nodes per diagonal
+``cd:R:H``               Figure 1: standalone constant-degree gadget
+                         designed for R red pebbles, H layers
+``h2c:R``                Figure 2: standalone hard-to-compute gadget
+                         designed for R red pebbles
+
+Graph specs
+-----------
+:func:`graph_from_spec` parses the undirected-graph inputs of the
+hardness reductions:
+
+``path:N`` / ``cycle:N`` / ``complete:N`` / ``star:N``
+    the classic fixed families;
+``gnp:N:P[:sS]``
+    G(n, p) with seed S (default 0), e.g. ``gnp:7:0.4:s2``;
+``ham:N[:eE][:sS]``
+    planted Hamiltonian-path graph with E extra edges (default 0);
+``vcg:N:C[:pP][:sS]``
+    planted vertex-cover graph with cover size C and edge
+    probability P (default 0.5).
 
 Hierarchy specs
 ---------------
@@ -53,9 +88,19 @@ from .classic import (
     matmul_dag,
     pyramid_dag,
 )
-from .random_dags import layered_random_dag
+from .graphs import (
+    UndirectedGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    planted_hampath_graph,
+    planted_vertex_cover_graph,
+    random_graph,
+    star_graph,
+)
+from .random_dags import layered_random_dag, random_dag
 
-__all__ = ["dag_from_spec", "hierarchy_from_spec"]
+__all__ = ["dag_from_spec", "graph_from_spec", "hierarchy_from_spec", "split_vc_spec"]
 
 
 def _pair(arg: str, spec: str) -> "tuple[int, int]":
@@ -63,6 +108,71 @@ def _pair(arg: str, spec: str) -> "tuple[int, int]":
     if not sep:
         raise ValueError(f"spec {spec!r} needs an AxB argument")
     return int(a), int(b)
+
+
+def _options(parts: "list[str]", spec: str, **kinds):
+    """Parse trailing ``:xVALUE`` option segments (x a one-letter key)."""
+    out = {}
+    for opt in parts:
+        key = opt[:1]
+        if key not in kinds or len(opt) < 2:
+            raise ValueError(f"unknown option {opt!r} in {spec!r}")
+        out[key] = kinds[key](opt[1:])
+    return out
+
+
+def graph_from_spec(spec: str) -> UndirectedGraph:
+    """Build the undirected graph named by ``spec`` (see module docstring).
+
+    These graphs are the inputs of the Theorem 2/3 hardness reductions;
+    the reduction-aware DAG specs (``hampath:...``, ``vc:...``) embed
+    this grammar after their own prefix.
+    """
+    kind, _, arg = spec.partition(":")
+    parts = arg.split(":") if arg else []
+    try:
+        if kind == "path":
+            return path_graph(int(arg))
+        if kind == "cycle":
+            return cycle_graph(int(arg))
+        if kind == "complete":
+            return complete_graph(int(arg))
+        if kind == "star":
+            return star_graph(int(arg))
+        if kind == "gnp":
+            if len(parts) < 2:
+                raise ValueError("gnp needs gnp:N:P[:sS]")
+            opts = _options(parts[2:], spec, s=int)
+            return random_graph(int(parts[0]), float(parts[1]), seed=opts.get("s", 0))
+        if kind == "ham":
+            if len(parts) < 1:
+                raise ValueError("ham needs ham:N[:eE][:sS]")
+            opts = _options(parts[1:], spec, e=int, s=int)
+            return planted_hampath_graph(
+                int(parts[0]), extra_edges=opts.get("e", 0), seed=opts.get("s", 0)
+            )
+        if kind == "vcg":
+            if len(parts) < 2:
+                raise ValueError("vcg needs vcg:N:C[:pP][:sS]")
+            opts = _options(parts[2:], spec, p=float, s=int)
+            return planted_vertex_cover_graph(
+                int(parts[0]),
+                int(parts[1]),
+                edge_prob=opts.get("p", 0.5),
+                seed=opts.get("s", 0),
+            )
+    except ValueError as exc:
+        raise ValueError(f"bad graph spec {spec!r}: {exc}") from None
+    raise ValueError(f"unknown graph spec {spec!r}")
+
+
+def split_vc_spec(arg: str) -> "tuple[str, int | None]":
+    """Split the argument of a ``vc:GRAPH[:kK]`` spec into
+    ``(graph spec, k or None)``."""
+    head, sep, tail = arg.rpartition(":")
+    if sep and len(tail) > 1 and tail[0] == "k" and tail[1:].isdigit():
+        return head, int(tail[1:])
+    return arg, None
 
 
 def dag_from_spec(spec: str) -> ComputationDAG:
@@ -107,6 +217,45 @@ def dag_from_spec(spec: str) -> ComputationDAG:
 
             d, n = _pair(arg, spec)
             return tradeoff_dag(d, n).dag
+        if kind == "rand":
+            parts = arg.split(":")
+            if len(parts) < 2:
+                raise ValueError("rand needs rand:N:P[:dD][:sS]")
+            opts = _options(parts[2:], spec, d=int, s=int)
+            return random_dag(
+                int(parts[0]),
+                float(parts[1]),
+                seed=opts.get("s", 0),
+                max_indegree=opts.get("d"),
+            )
+        if kind == "hampath":
+            from ..reductions.hampath import hampath_reduction
+
+            # the plain (oneshot/nodel) contact-group DAG; the base and
+            # compcost H2C variants are per-model and built by the
+            # hampath:* experiment methods themselves
+            return hampath_reduction(graph_from_spec(arg), "oneshot").dag
+        if kind == "vc":
+            from ..reductions.vertex_cover import vertex_cover_reduction
+
+            graph_spec, k = split_vc_spec(arg)
+            return vertex_cover_reduction(graph_from_spec(graph_spec), k).system.dag
+        if kind == "ggrid":
+            from ..reductions.greedy_grid import greedy_grid_construction
+
+            l, kc = _pair(arg, spec)
+            return greedy_grid_construction(l, kc).system.dag
+        if kind == "cd":
+            from ..gadgets.cd import cd_gadget_dag
+
+            r, _, h = arg.partition(":")
+            if not h:
+                raise ValueError("cd needs cd:R:H")
+            return cd_gadget_dag(int(r), int(h))[0]
+        if kind == "h2c":
+            from ..gadgets.h2c import h2c_dag
+
+            return h2c_dag(int(arg))[0]
     except ValueError as exc:
         raise ValueError(f"bad DAG spec {spec!r}: {exc}") from None
     raise ValueError(f"unknown DAG spec {spec!r}")

@@ -16,6 +16,7 @@ reassemble whole diagonals — which the ablation benchmark demonstrates.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
@@ -74,7 +75,9 @@ def improve_order(
     current: List[Node] = (
         list(order) if order is not None else list(dag.topological_order())
     )
-    if sorted(map(repr, current)) != sorted(map(repr, dag.nodes)):
+    # compare the node multiset directly: repr-based comparison would let
+    # two distinct nodes with equal reprs pass as a "permutation"
+    if Counter(current) != Counter(dag.nodes):
         raise ValueError("order must be a permutation of the DAG nodes")
     if not _is_topological(dag, current):
         raise ValueError("starting order is not topological")
@@ -114,13 +117,17 @@ def improve_order(
                     stalled = False
                     break
         else:  # reinsert
-            for _ in range(n):
+            for _ in range(n if n > 1 else 0):
                 if evaluations >= max_evaluations:
                     break
+                # sample the moved node and its *final* position directly;
+                # j is drawn from the n-1 non-identity positions so no
+                # attempt is burnt on a no-op candidate, and every target
+                # slot (including n-1) is reachable
                 i = rng.randrange(n)
-                j = rng.randrange(n)
-                if i == j:
-                    continue
+                j = rng.randrange(n - 1)
+                if j >= i:
+                    j += 1
                 cand = current[:]
                 v = cand.pop(i)
                 cand.insert(j, v)

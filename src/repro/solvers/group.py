@@ -214,14 +214,31 @@ def two_opt_improve(
     Repeatedly reverses sub-segments while that lowers the order cost and
     keeps every precedence pair satisfied; stops at a local optimum or
     after ``max_rounds`` passes.
+
+    The inputs are validated up front with the same errors the other
+    optimizers raise: a mis-shaped ``start``/``trans`` or a bad
+    precedence pair is a ``ValueError``, and so is a starting ``order``
+    that is not a permutation of ``range(n)`` or violates
+    ``precedence`` — without this, a wrong-sized ``trans`` would raise a
+    bare ``IndexError`` mid-search and an invalid order would be
+    silently "improved" and returned as if valid.
     """
     n = len(order)
+    _check_inputs(n, start, trans)
+    if n == 0:
+        return Fraction(0), ()
     order = list(order)
+    if sorted(order) != list(range(n)):
+        raise ValueError("order must be a permutation of range(n)")
     prec = list(precedence)
+    _precedence_masks(n, prec)  # same bad-pair errors as the optimizers
 
     def respects(o: Sequence[int]) -> bool:
         pos = {g: k for k, g in enumerate(o)}
         return all(pos[i] < pos[j] for i, j in prec)
+
+    if not respects(order):
+        raise ValueError("order violates the precedence constraints")
 
     best_cost = order_cost(order, start, trans)
     for _ in range(max_rounds):

@@ -30,6 +30,38 @@ class TestBenchList:
         assert code == 1
 
 
+class TestBenchRunChecks:
+    def test_assertion_suites_run_after_the_grid(self, capsys):
+        code, out = run(
+            capsys, "bench", "run", "table1-models",
+            "--jobs", "0", "--no-cache", "--quiet",
+        )
+        assert code == 0
+        assert "[table1-models] 1 assertion suite(s) passed" in out
+
+    def test_no_check_skips_the_suites(self, capsys):
+        code, out = run(
+            capsys, "bench", "run", "table1-models",
+            "--jobs", "0", "--no-cache", "--quiet", "--no-check",
+        )
+        assert code == 0
+        assert "assertion suite" not in out
+
+    def test_violated_suite_fails_the_command(self, capsys, monkeypatch):
+        from repro.experiments import registry
+
+        def bomb(results):
+            raise AssertionError("intentionally violated")
+
+        monkeypatch.setitem(registry._CHECKS, "table1-models", [bomb])
+        code, out = run(
+            capsys, "bench", "run", "table1-models",
+            "--jobs", "0", "--no-cache", "--quiet",
+        )
+        assert code == 1
+        assert "CHECK FAILED" in out and "intentionally violated" in out
+
+
 class TestBenchRun:
     def test_writes_json_and_csv(self, tmp_path, capsys):
         out_json = tmp_path / "r.json"

@@ -1,0 +1,185 @@
+"""The reduction-backed experiment methods and their golden agreements.
+
+The headline invariant (the ``hardness-smoke`` acceptance gate): on
+small instances the hardness constructions' canonical strategies must
+agree with — or provably bracket — the exhaustive bits solver.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments import (
+    Runner,
+    TaskSpec,
+    execute_task,
+    get_spec,
+    resolve_method,
+    run_spec_checks,
+)
+
+
+def run_cell(dag, method, model="oneshot", red="min"):
+    task = TaskSpec(spec="t", dag=dag, model=model, method=method, red_limit=red)
+    return execute_task(task)
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", [
+        "hampath:decide", "hampath:cd",
+        "group:hk", "group:brute", "group:nn2opt",
+        "vc:opt", "vc:2approx",
+        "grid:greedy", "grid:opt", "grid:cdgreedy", "grid:cdopt",
+        "table1:probe", "appendixc",
+    ])
+    def test_new_names_resolve(self, name):
+        assert callable(resolve_method(name))
+
+    @pytest.mark.parametrize("dag,method", [
+        ("pyramid:3", "hampath:decide"),   # needs a hampath:... spec
+        ("hampath:path:3", "vc:opt"),      # needs a vc:... spec
+        ("pyramid:3", "grid:greedy"),      # needs a ggrid:... spec
+    ])
+    def test_wrong_dag_family_is_an_error_cell(self, dag, method):
+        result = run_cell(dag, method)
+        assert result.status.value == "error"
+        assert "DAG spec" in (result.error or "")
+
+    def test_hampath_cd_rejects_non_oneshot(self):
+        result = run_cell("hampath:path:3", "hampath:cd", model="nodel")
+        assert result.status.value == "error"
+
+
+class TestHamPathGoldens:
+    """hampath:decide answers pinned against the exact bits solver on
+    the small graph zoo (nodel: the cheap exhaustive model)."""
+
+    @pytest.mark.parametrize("graph,ham", [
+        ("path:4", True),
+        ("cycle:4", True),
+        ("star:4", False),
+    ])
+    def test_decide_matches_exact_solver_nodel(self, graph, ham):
+        decide = run_cell(f"hampath:{graph}", "hampath:decide", model="nodel")
+        exact = run_cell(f"hampath:{graph}", "exact", model="nodel")
+        assert decide.ok and exact.ok
+        assert decide.cost_fraction == exact.cost_fraction
+        assert decide.extra["verdict"] == decide.extra["truth"]
+        assert decide.extra["truth"] == ("HAM" if ham else "no")
+        assert (Fraction(decide.extra["gap"]) == 0) == ham
+
+    def test_decide_matches_exact_solver_oneshot_tiny(self):
+        decide = run_cell("hampath:path:3", "hampath:decide")
+        exact = run_cell("hampath:path:3", "exact")
+        assert decide.ok and exact.ok
+        assert decide.cost_fraction == exact.cost_fraction == 2
+
+    def test_all_models_agree_on_the_verdict(self):
+        for model in ("oneshot", "nodel", "base", "compcost"):
+            r = run_cell("hampath:star:4", "hampath:decide", model=model)
+            assert r.ok, r.error
+            assert r.extra["verdict"] == r.extra["truth"] == "no"
+
+    def test_order_solvers_agree_with_decide(self):
+        costs = {}
+        for method in ("hampath:decide", "group:hk", "group:brute"):
+            r = run_cell("hampath:cycle:4", method)
+            assert r.ok, r.error
+            costs[method] = r.cost_fraction
+        assert len(set(costs.values())) == 1
+        nn = run_cell("hampath:cycle:4", "group:nn2opt")
+        assert nn.ok and nn.cost_fraction >= costs["group:hk"]
+
+    def test_cd_transform_prices_identically(self):
+        r = run_cell("hampath:gnp:5:0.45:s0", "hampath:cd")
+        assert r.ok, r.error
+        assert r.extra["identical"] == "True"
+        assert r.extra["max_indegree"] == "2"
+
+
+class TestVertexCoverGoldens:
+    def test_threshold_brackets_the_exact_optimum(self):
+        """2k'|VC_min| <= exact optimum <= cost of the min-cover
+        strategy — the Theorem 3 accounting on the smallest instance."""
+        opt = run_cell("vc:path:2:k3", "vc:opt")
+        exact = run_cell("vc:path:2:k3", "exact")
+        assert opt.ok and exact.ok, (opt.error, exact.error)
+        dominant = int(opt.extra["dominant_term"])
+        assert Fraction(dominant) <= exact.cost_fraction <= opt.cost_fraction
+        # golden values: pin the measured numbers
+        assert exact.cost_fraction == 3
+        assert opt.cost_fraction == 7
+        assert dominant == 2
+
+    def test_cover_strategies_roundtrip_and_order(self):
+        opt = run_cell("vc:cycle:6:k12", "vc:opt")
+        approx = run_cell("vc:cycle:6:k12", "vc:2approx")
+        assert opt.ok and approx.ok
+        assert opt.extra["cover_roundtrip"] == "True"
+        assert approx.extra["cover_roundtrip"] == "True"
+        assert approx.cost_fraction >= opt.cost_fraction
+        assert int(approx.extra["cover_size"]) <= 2 * int(opt.extra["cover_size"])
+
+
+class TestGridGoldens:
+    def test_greedy_follows_prediction_and_gap_appears_at_size(self):
+        small_g = run_cell("ggrid:3x6", "grid:greedy")
+        small_o = run_cell("ggrid:3x6", "grid:opt")
+        big_g = run_cell("ggrid:5x20", "grid:greedy")
+        big_o = run_cell("ggrid:5x20", "grid:opt")
+        for r in (small_g, small_o, big_g, big_o):
+            assert r.ok, r.error
+        assert small_g.extra["followed_prediction"] == "True"
+        assert big_g.extra["followed_prediction"] == "True"
+        small_ratio = small_g.cost_fraction / small_o.cost_fraction
+        big_ratio = big_g.cost_fraction / big_o.cost_fraction
+        assert big_ratio > small_ratio > 1
+
+    def test_cd_transform_keeps_the_gap_at_delta_2(self):
+        g = run_cell("ggrid:3x6", "grid:cdgreedy")
+        o = run_cell("ggrid:3x6", "grid:cdopt")
+        assert g.ok and o.ok
+        assert g.extra["max_indegree"] == o.extra["max_indegree"] == "2"
+        assert g.cost_fraction > o.cost_fraction
+
+
+class TestTableAndAppendixMethods:
+    def test_table1_probe_matches_declared_models(self):
+        for model in ("base", "oneshot", "nodel", "compcost"):
+            r = run_cell("chain:1", "table1:probe", model=model)
+            assert r.ok, r.error
+            assert r.extra["matches_declared"] == "True"
+
+    def test_appendixc_equivalences(self):
+        r = run_cell("pyramid:2", "appendixc")
+        assert r.ok, r.error
+        opt = r.cost_fraction
+        assert Fraction(r.extra["super_source_lifted"]) == opt
+        assert Fraction(r.extra["super_source_opt"]) <= opt
+        assert opt <= Fraction(r.extra["blue_sinks_cost"]) <= opt + int(
+            r.extra["n_sinks"]
+        )
+
+
+class TestHardnessSmokeSpec:
+    def test_spec_runs_green_and_checks_pass(self):
+        spec = get_spec("hardness-smoke")
+        results = Runner(jobs=0).run(spec)
+        assert all(r.ok for r in results), [
+            (r.dag, r.model, r.method, r.error) for r in results if not r.ok
+        ]
+        assert run_spec_checks(spec.name, results) >= 1
+
+    def test_checks_catch_a_drifted_cost(self):
+        from dataclasses import replace
+
+        spec = get_spec("hardness-smoke")
+        results = Runner(jobs=0).run(spec)
+        broken = [
+            replace(r, cost="999")
+            if r.method == "exact" and r.model == "oneshot"
+            else r
+            for r in results
+        ]
+        with pytest.raises(AssertionError, match="hardness-smoke"):
+            run_spec_checks(spec.name, broken)

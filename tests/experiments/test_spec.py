@@ -115,11 +115,58 @@ class TestTaskHash:
         assert TaskSpec.from_dict(task.to_dict()) == task
 
 
+class TestExplicitCells:
+    def test_cells_appended_after_the_grid(self):
+        spec = ExperimentSpec(
+            name="t-cells",
+            dags=("chain:3",),
+            methods=("baseline",),
+            cells=(("pyramid:2", "oneshot", "exact", 3),),
+        )
+        tasks = spec.tasks()
+        assert len(tasks) == 2
+        assert tasks[-1].dag == "pyramid:2"
+        assert tasks[-1].method == "exact"
+        assert tasks[-1].red_limit == 3
+
+    def test_cells_only_spec_allowed(self):
+        spec = ExperimentSpec(
+            name="t-cells-only",
+            cells=(("chain:3", "oneshot", "baseline", "min"),),
+        )
+        assert spec.n_tasks == 1
+
+    def test_malformed_cell_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="t-bad-cell",
+                cells=(("chain:3", "oneshot", "baseline"),),
+            )
+
+
 class TestRegistry:
     def test_builtins_registered(self):
         names = {s.name for s in all_specs()}
         assert {"smoke", "sec3-bounds", "hong-kung", "greedy-rules",
-                "eviction", "fig4-tradeoff", "beam-ablation"} <= names
+                "eviction", "fig4-tradeoff", "beam-ablation",
+                "thm2-hampath", "thm3-vertex-cover", "thm4-greedy-grid",
+                "hardness-smoke"} <= names
+
+    def test_hardness_specs_carry_checks(self):
+        from repro.experiments import checks_for
+
+        for name in ("thm2-hampath", "thm3-vertex-cover", "thm4-greedy-grid",
+                     "hardness-smoke", "fig1-cd", "fig2-h2c", "lemma1-length",
+                     "table1-models", "table2-properties", "appendix-c"):
+            assert checks_for(name), f"{name} has no assertion suite"
+
+    def test_builtin_cells_parse(self):
+        from repro.experiments import resolve_method
+
+        for spec in all_specs():
+            for dag, model, method, _red in spec.cells:
+                assert dag_from_spec(dag).n_nodes > 0
+                assert callable(resolve_method(method))
 
     def test_builtin_dag_specs_parse(self):
         from repro.experiments.spec import split_dag_entry

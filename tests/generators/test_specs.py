@@ -7,6 +7,7 @@ import pytest
 from repro.generators import (
     butterfly_dag,
     dag_from_spec,
+    graph_from_spec,
     grid_stencil_dag,
     hierarchy_from_spec,
     independent_tasks_dag,
@@ -83,12 +84,97 @@ class TestHierarchySpecs:
             hierarchy_from_spec(spec)
 
 
+class TestGraphSpecs:
+    def test_fixed_families(self):
+        assert graph_from_spec("path:4").m == 3
+        assert graph_from_spec("cycle:6").m == 6
+        assert graph_from_spec("complete:4").m == 6
+        assert graph_from_spec("star:5").m == 4
+
+    def test_gnp_matches_generator(self):
+        from repro.generators import random_graph
+
+        assert graph_from_spec("gnp:7:0.4:s2") == random_graph(7, 0.4, seed=2)
+        assert graph_from_spec("gnp:7:0.4") == random_graph(7, 0.4, seed=0)
+
+    def test_planted_families(self):
+        from repro.generators import (
+            planted_hampath_graph,
+            planted_vertex_cover_graph,
+        )
+        from repro.npc import has_hamiltonian_path
+
+        g = graph_from_spec("ham:8:e4:s1")
+        assert g == planted_hampath_graph(8, extra_edges=4, seed=1)
+        assert has_hamiltonian_path(g)
+        assert graph_from_spec("vcg:6:2:p0.4:s3") == planted_vertex_cover_graph(
+            6, 2, edge_prob=0.4, seed=3
+        )
+
+    @pytest.mark.parametrize("spec", [
+        "moebius:4",       # unknown family
+        "gnp:7",           # missing probability
+        "gnp:7:0.4:z9",    # unknown option
+        "ham:x",           # non-numeric size
+        "vcg:6",           # missing cover size
+    ])
+    def test_bad_graph_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            graph_from_spec(spec)
+
+
+class TestHardnessSpecs:
+    def test_hampath_spec_is_the_plain_construction(self):
+        from repro.reductions import hampath_reduction
+
+        dag = dag_from_spec("hampath:path:4")
+        ref = hampath_reduction(graph_from_spec("path:4"), "oneshot")
+        assert dag.n_nodes == ref.dag.n_nodes
+        assert dag.min_red_pebbles == ref.red_limit == 4
+
+    def test_vc_spec_with_and_without_k(self):
+        from repro.generators.specs import split_vc_spec
+        from repro.reductions import vertex_cover_reduction
+
+        assert split_vc_spec("cycle:6:k12") == ("cycle:6", 12)
+        assert split_vc_spec("cycle:6") == ("cycle:6", None)
+        assert split_vc_spec("gnp:7:0.4:s1:k80") == ("gnp:7:0.4:s1", 80)
+        dag = dag_from_spec("vc:cycle:6:k12")
+        ref = vertex_cover_reduction(graph_from_spec("cycle:6"), 12)
+        assert dag.n_nodes == ref.system.dag.n_nodes
+        assert dag.min_red_pebbles == ref.red_limit == 13
+        # default k = N^2 + N + 1
+        assert dag_from_spec("vc:path:3").min_red_pebbles == 3 * 3 + 3 + 1 + 1
+
+    def test_ggrid_cd_h2c_and_rand_specs(self):
+        from repro.gadgets import cd_gadget_dag, h2c_dag
+        from repro.generators import random_dag
+        from repro.reductions import greedy_grid_construction
+
+        c = greedy_grid_construction(3, 6)
+        assert dag_from_spec("ggrid:3x6").n_nodes == c.system.dag.n_nodes
+        assert dag_from_spec("cd:3:2").n_nodes == cd_gadget_dag(3, 2)[0].n_nodes
+        assert dag_from_spec("cd:3:2").max_indegree == 2
+        assert dag_from_spec("h2c:4").n_nodes == h2c_dag(4)[0].n_nodes
+        assert dag_from_spec("rand:8:0.35:d2:s2").n_nodes == 8
+        assert (
+            dag_from_spec("rand:8:0.35:d2:s2").max_indegree
+            == random_dag(8, 0.35, seed=2, max_indegree=2).max_indegree
+            <= 2
+        )
+
+
 class TestErrors:
     @pytest.mark.parametrize("spec", [
         "klein-bottle:4",      # unknown generator
         "grid:4",              # missing AxB argument
         "pyramid:x",           # non-numeric size
         "layered:3-3:q7",      # unknown layered option
+        "hampath:moebius:4",   # bad embedded graph spec
+        "vc:path:2:kx",        # malformed k option falls through to graph parse
+        "cd:3",                # missing layer count
+        "ggrid:3",             # missing LxK argument
+        "rand:8",              # missing edge probability
     ])
     def test_bad_specs_raise(self, spec):
         with pytest.raises(ValueError):

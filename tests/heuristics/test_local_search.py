@@ -82,3 +82,47 @@ class TestImproveOrder:
         a = improve_order(inst, max_evaluations=120, seed=9)
         b = improve_order(inst, max_evaluations=120, seed=9)
         assert a.order == b.order and a.cost == b.cost
+
+
+class TestValidationAndNeighborhoodRegressions:
+    def test_equal_repr_distinct_nodes_not_a_permutation(self):
+        """Regression: the starting-order check used to compare node
+        *reprs*, so a list repeating one of two equal-repr nodes passed
+        as a 'permutation'."""
+
+        class Twin:
+            def __repr__(self):
+                return "<twin>"
+
+        from repro import ComputationDAG
+
+        a, b = Twin(), Twin()
+        dag = ComputationDAG(nodes=[a, b])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=2)
+        with pytest.raises(ValueError):
+            improve_order(inst, order=[a, a])
+        # the genuine permutation is accepted and searchable
+        result = improve_order(inst, order=[a, b], max_evaluations=10)
+        assert sorted(result.order, key=id) == sorted([a, b], key=id)
+
+    def test_reinsert_single_node_dag(self):
+        from repro import ComputationDAG
+
+        dag = ComputationDAG(nodes=["x"])
+        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=1)
+        result = improve_order(inst, neighborhood="reinsert", max_evaluations=10)
+        assert result.evaluations == 1  # nothing to move
+
+    def test_reinsert_never_burns_attempts_on_identity(self):
+        """Regression: i == j draws used to consume a neighborhood
+        attempt on a no-op candidate.  With two independent nodes every
+        draw now yields the one genuine alternative order, so the
+        stalled round performs exactly n real evaluations."""
+        from repro import ComputationDAG
+
+        inst = make(ComputationDAG(nodes=["a", "b"]), 2)
+        for seed in range(5):
+            result = improve_order(
+                inst, neighborhood="reinsert", max_evaluations=100, seed=seed
+            )
+            assert result.evaluations == 3  # 1 initial + 2 genuine candidates

@@ -3,6 +3,8 @@
 from fractions import Fraction
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import SolverError
 from repro.solvers import (
@@ -133,3 +135,78 @@ class TestHeuristicOrders:
         _, improved = two_opt_improve(nn, zeros(5), trans, precedence=prec)
         pos = {g: k for k, g in enumerate(improved)}
         assert pos[0] < pos[4] and pos[1] < pos[4]
+
+
+class TestTwoOptValidation:
+    """two_opt_improve must reject bad inputs up front with the same
+    errors the other optimizers raise (regression: a wrong-sized trans
+    used to surface as a bare IndexError mid-search, and an invalid
+    order was silently 'improved')."""
+
+    def test_empty_order(self):
+        assert two_opt_improve([], [], []) == (0, ())
+
+    def test_wrong_sized_inputs_raise_value_error(self):
+        with pytest.raises(ValueError):
+            two_opt_improve([0, 1], zeros(2), matrix(3, lambda i, j: 1))
+        with pytest.raises(ValueError):
+            two_opt_improve([0, 1], zeros(3), matrix(2, lambda i, j: 1))
+
+    def test_non_permutation_order_rejected(self):
+        with pytest.raises(ValueError):
+            two_opt_improve([0, 0], zeros(2), matrix(2, lambda i, j: 1))
+        with pytest.raises(ValueError):
+            two_opt_improve([1, 2], zeros(2), matrix(2, lambda i, j: 1))
+
+    def test_precedence_violating_order_rejected(self):
+        with pytest.raises(ValueError):
+            two_opt_improve(
+                [1, 0], zeros(2), matrix(2, lambda i, j: 1), precedence=[(0, 1)]
+            )
+
+    def test_bad_precedence_pair_rejected(self):
+        with pytest.raises(ValueError):
+            two_opt_improve(
+                [0, 1], zeros(2), matrix(2, lambda i, j: 1), precedence=[(0, 0)]
+            )
+
+
+@st.composite
+def order_instances(draw):
+    """A random (start, trans, precedence) triple; precedence pairs are
+    oriented (i, j) with i < j so the identity order always satisfies
+    them (the constraint graph is a DAG by construction)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    start = [Fraction(draw(st.integers(0, 9))) for _ in range(n)]
+    trans = [
+        [Fraction(draw(st.integers(0, 9))) for _ in range(n)] for _ in range(n)
+    ]
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    prec = draw(st.lists(st.sampled_from(pairs), max_size=n, unique=True))
+    return start, trans, prec
+
+
+class TestHeldKarpHypothesis:
+    @given(order_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_held_karp_equals_brute_force_under_random_precedence(self, instance):
+        start, trans, prec = instance
+        hk_cost, hk_order = held_karp_min_order(start, trans, precedence=prec)
+        bf_cost, _ = brute_force_min_order(start, trans, precedence=prec)
+        assert hk_cost == bf_cost
+        assert order_cost(hk_order, start, trans) == hk_cost
+        pos = {g: k for k, g in enumerate(hk_order)}
+        assert all(pos[i] < pos[j] for i, j in prec)
+
+    @given(order_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_heuristic_chain_never_beats_exact_or_breaks_precedence(self, instance):
+        start, trans, prec = instance
+        nn_cost, nn_order = nearest_neighbor_order(start, trans, precedence=prec)
+        impr_cost, impr_order = two_opt_improve(
+            nn_order, start, trans, precedence=prec
+        )
+        hk_cost, _ = held_karp_min_order(start, trans, precedence=prec)
+        assert hk_cost <= impr_cost <= nn_cost
+        pos = {g: k for k, g in enumerate(impr_order)}
+        assert all(pos[i] < pos[j] for i, j in prec)

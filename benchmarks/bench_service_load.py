@@ -1,0 +1,143 @@
+"""Experiment SL — service load test: throughput and latency percentiles.
+
+Boots a real ``PebbleService`` on an ephemeral port, drives it with
+concurrent keep-alive HTTP clients over a small mix of repeated query
+cells, and reports requests/sec, cache hit rate and p50/p99 latency.
+This is the acceptance harness of the serving layer: the repeated cells
+must be answered from the store/coalescer (hit rate well above zero)
+and the cached path must stay in single-digit milliseconds.
+
+The CI ``benchmarks`` job runs the pytest twin of this script
+(``tests/benchmarks/test_service_load.py``) with ``--benchmark-json``
+and uploads the numbers as an artifact; ``tools/snapshot_bench.py``
+versions that artifact into ``BENCH_<n>.json`` at the repo root.
+
+Run standalone:  python benchmarks/bench_service_load.py [--out load.json]
+"""
+
+import argparse
+import asyncio
+import json
+import statistics
+import threading
+import time
+
+from repro.analysis import render_table
+from repro.experiments import backend_for_jobs, open_store
+from repro.service import PebbleService, ServiceClient
+
+#: the query mix: a handful of distinct cells, visited round-robin by
+#: every client, so most requests repeat a cell someone else computed
+QUERY_MIX = [
+    {"dag": "pyramid:3", "method": "baseline"},
+    {"dag": "pyramid:4", "method": "baseline"},
+    {"dag": "chain:6", "method": "baseline"},
+    {"dag": "chain:8", "method": "baseline"},
+    {"dag": "tree:4", "method": "baseline"},
+    {"dag": "grid:2x3", "method": "baseline"},
+    {"dag": "pyramid:3", "method": "greedy"},
+    {"dag": "tasks:2x3", "method": "baseline"},
+]
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_load(*, clients=8, requests_per_client=25, jobs=2, store="memory"):
+    """Drive the service and return a flat metrics dict."""
+
+    async def scenario():
+        service = PebbleService(
+            backend_for_jobs(jobs), open_store(store), own_resources=True
+        )
+        host, port = await service.start("127.0.0.1", 0)
+        url = f"http://{host}:{port}"
+        loop = asyncio.get_running_loop()
+        latencies = []
+        lock = threading.Lock()
+
+        def client_worker(cid):
+            local = []
+            with ServiceClient(url) as http:
+                for i in range(requests_per_client):
+                    query = QUERY_MIX[(cid + i) % len(QUERY_MIX)]
+                    begin = time.perf_counter()
+                    result = http.query(query)
+                    local.append(time.perf_counter() - begin)
+                    assert result["status"] == "ok", result
+            with lock:
+                latencies.extend(local)
+
+        try:
+            begin = time.perf_counter()
+            await asyncio.gather(
+                *(loop.run_in_executor(None, client_worker, c)
+                  for c in range(clients))
+            )
+            wall = time.perf_counter() - begin
+            stats = await loop.run_in_executor(
+                None, lambda: ServiceClient(url).stats()
+            )
+        finally:
+            await service.aclose()
+
+        queue = stats["queue"]
+        n = len(latencies)
+        return {
+            "clients": clients,
+            "requests": n,
+            "wall_s": round(wall, 4),
+            "rps": round(n / wall, 1),
+            "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+            "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
+            "cache_hit_rate": round(
+                queue["cache_hits"] / queue["requests"], 4
+            ),
+            "coalesced": queue["coalesced"],
+            "executed": queue["executed"],
+            "batches": queue["batches"],
+            "largest_batch": queue["largest_batch"],
+        }
+
+    return asyncio.run(scenario())
+
+
+def check_metrics(metrics):
+    """The serving-layer acceptance assertions."""
+    distinct = len(QUERY_MIX)
+    # every distinct cell computed at most once; the rest were amortized
+    assert metrics["executed"] <= distinct, metrics
+    assert metrics["cache_hit_rate"] > 0.5, metrics
+    # the warm path dominates the mix, so the median must be cache-speed
+    assert metrics["p50_ms"] < 50, metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes (0 = inline)")
+    parser.add_argument("--store", default="memory",
+                        help="result store spec (memory | sqlite:PATH | none)")
+    parser.add_argument("--out", help="write the metrics dict as JSON")
+    args = parser.parse_args()
+
+    metrics = run_load(clients=args.clients,
+                       requests_per_client=args.requests,
+                       jobs=args.jobs, store=args.store)
+    check_metrics(metrics)
+    print(render_table([metrics], title="Service load test"))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(metrics, handle, indent=2)
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

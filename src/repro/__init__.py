@@ -76,7 +76,7 @@ from .core import (
     validate_schedule,
 )
 
-__version__ = "1.0.0"
+from ._version import __version__
 
 __all__ = [
     "__version__",

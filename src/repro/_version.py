@@ -1,0 +1,9 @@
+"""Single source of truth for the package version.
+
+``pyproject.toml`` reads it via ``[tool.setuptools.dynamic]``, and the
+experiment cache incorporates it into every task content hash (see
+:meth:`repro.experiments.TaskSpec.content_hash`) so results computed by
+an older kernel are never served as fresh from an on-disk store.
+"""
+
+__version__ = "0.3.0"

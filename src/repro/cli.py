@@ -11,6 +11,8 @@ hampath    Theorem 2 reduction: decide Hamiltonian path via pebbling
 table1     print Table 1 (operation costs per model)
 table2     print Table 2 (model properties)
 bench      experiment runner: list/run/compare declarative specs
+serve      pebbling-as-a-service: long-running async HTTP/JSON API
+query      client for a running server (one cell per call)
 
 Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
 ``grid:RxC``, ``butterfly:K``, ``matmul:N``, ``tasks:WxC``,
@@ -31,6 +33,11 @@ After a run, every assertion suite registered for the spec (see
 :func:`repro.experiments.register_check`) is executed against the
 results; a violated theorem invariant fails the command like a task
 error would (``--no-check`` skips the suites).
+
+The service pair (see ``docs/serving.md``)::
+
+    repro-pebble serve --port 8757 --jobs 4 --store results/service.sqlite
+    repro-pebble query --dag pyramid:4 --method exact --red min+1
 """
 
 from __future__ import annotations
@@ -302,6 +309,81 @@ def cmd_bench_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .experiments.backends import backend_for_jobs
+    from .service import PebbleService
+    from .experiments.store import open_store
+
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0 (0 = inline, no timeouts)")
+    store = open_store(None if args.no_store else args.store)
+    backend = backend_for_jobs(args.jobs)
+    service = PebbleService(
+        backend,
+        store,
+        default_timeout=args.timeout,
+        max_batch=args.max_batch,
+        dispatchers=args.dispatchers,
+        own_resources=True,
+    )
+
+    async def run() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(f"repro-pebble serving on http://{host}:{port}")
+        print(f"  backend : jobs={args.jobs} "
+              f"({'inline, no timeouts' if args.jobs == 0 else 'worker pool'})")
+        print(f"  store   : {'none' if store is None else args.store}")
+        print(f"  timeout : {args.timeout}s/request — Ctrl-C to stop")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    payload = {"dag": args.dag, "model": args.model, "method": args.method}
+    if args.red is not None:
+        payload["red_limit"] = args.red
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+    with ServiceClient(args.url) as client:
+        try:
+            result = client.query(payload)
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+        except ConnectionError as exc:
+            raise SystemExit(f"cannot reach {args.url}: {exc} "
+                             f"(is `repro-pebble serve` running?)")
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(result, indent=2))
+        return 0
+    status = result.get("status", "?")
+    print(f"dag     : {result.get('dag')}")
+    print(f"method  : {result.get('method')} ({result.get('model')}, "
+          f"R={result.get('red_limit')})")
+    print(f"status  : {status}" + (" (cached)" if result.get("cached") else ""))
+    if status == "ok":
+        print(f"cost    : {result.get('cost')}")
+        if result.get("n_moves") is not None:
+            print(f"moves   : {result.get('n_moves')}")
+    elif result.get("error"):
+        print(f"error   : {result['error']}")
+    print(f"wall    : {result.get('wall_time', 0):.4f}s")
+    return 0 if status in ("ok", "infeasible") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pebble",
@@ -384,6 +466,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("candidate", nargs="?", default=None,
                    help="second artifact to compare against (optional)")
     p.set_defaults(fn=cmd_bench_compare)
+
+    p = sub.add_parser("serve", help="async HTTP/JSON API over the runner")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8757)
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker processes (0 = inline, no timeout enforcement)")
+    p.add_argument("--store", default="results/service.sqlite",
+                   help="persistent result store: a .sqlite/.db path, a cache "
+                        "directory, or 'memory' (default: results/service.sqlite)")
+    p.add_argument("--no-store", action="store_true",
+                   help="serve without any result store")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="default per-request seconds (default: 60)")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max queued cells dispatched as one grid batch")
+    p.add_argument("--dispatchers", type=int, default=2,
+                   help="concurrent batch dispatch threads")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("query", help="query a running server")
+    p.add_argument("--url", default="http://127.0.0.1:8757")
+    p.add_argument("--dag", required=True, help="generator spec or @file.json")
+    p.add_argument("--model", default="oneshot",
+                   choices=["base", "oneshot", "nodel", "compcost"])
+    p.add_argument("--method", default="exact",
+                   help="experiment method name (default: exact)")
+    p.add_argument("--red", default=None,
+                   help="red limit: an int, 'min' or 'min+K' (default: min)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request seconds (server default otherwise)")
+    p.add_argument("--json", action="store_true", help="print the raw JSON record")
+    p.set_defaults(fn=cmd_query)
 
     return parser
 

@@ -8,9 +8,16 @@ The subsystem has four layers:
 * :mod:`~repro.experiments.methods` — the named strategies a cell can
   run (greedy rules, eviction policies, beam search, the exact solver,
   the paper's optimal tradeoff strategy, ...);
-* :mod:`~repro.experiments.runner` — :class:`Runner`, which fans cells
-  out over multiprocessing workers with per-task timeouts and a
-  content-hash result cache;
+* :mod:`~repro.experiments.runner` — :class:`Runner`, the pure
+  scheduling core: it partitions cells into cache hits and fresh work,
+  dispatches the fresh cells to an execution backend, and stores the
+  results;
+* :mod:`~repro.experiments.backends` — pluggable execution:
+  :class:`InlineBackend` (in-process) and
+  :class:`MultiprocessingBackend` (persistent worker pool with per-task
+  timeouts and crash isolation);
+* :mod:`~repro.experiments.store` — content-hash keyed result stores
+  (in-memory / JSON directory / SQLite with version checking);
 * :mod:`~repro.experiments.results` — :class:`RunResult` records,
   serialized to JSON/CSV by :mod:`repro.io` and rendered into tables by
   :mod:`repro.analysis`.
@@ -25,6 +32,12 @@ or from the shell::
     repro-pebble bench run sec3-bounds --jobs 4 --out results.json
 """
 
+from .backends import (
+    ExecutionBackend,
+    InlineBackend,
+    MultiprocessingBackend,
+    backend_for_jobs,
+)
 from .methods import MethodOutcome, method_names, resolve_method
 from .registry import (
     BUILTIN_SPECS,
@@ -38,6 +51,13 @@ from .registry import (
 from .results import RunResult, RunStatus
 from .runner import Runner, execute_task
 from .spec import ExperimentSpec, TaskSpec, resolve_red_limit
+from .store import (
+    JsonDirStore,
+    MemoryResultStore,
+    ResultStore,
+    SQLiteResultStore,
+    open_store,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -47,6 +67,15 @@ __all__ = [
     "RunStatus",
     "Runner",
     "execute_task",
+    "ExecutionBackend",
+    "InlineBackend",
+    "MultiprocessingBackend",
+    "backend_for_jobs",
+    "ResultStore",
+    "MemoryResultStore",
+    "JsonDirStore",
+    "SQLiteResultStore",
+    "open_store",
     "MethodOutcome",
     "resolve_method",
     "method_names",

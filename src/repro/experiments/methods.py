@@ -39,6 +39,9 @@ name                     behaviour
                          the multi-level game prices moves by the
                          hierarchy alone)
 ``sleep:SECONDS``        test/diagnostic hook: sleeps, then reports cost 0
+``crash``                test/diagnostic hook: kills the executing
+                         process (``os._exit``) — exercises worker
+                         crash isolation end to end
 =======================  ====================================================
 
 Hardness-workload methods (the Theorems 2-4 reductions as measurable
@@ -558,6 +561,12 @@ def _run_sleep(seconds: float) -> MethodFn:
     return run
 
 
+def _run_crash(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+    import os
+
+    os._exit(17)  # hard process death: no exception, no cleanup
+
+
 _FIXED: Dict[str, MethodFn] = {
     "baseline": _run_baseline,
     "greedy": _run_greedy(None),
@@ -582,6 +591,7 @@ _FIXED: Dict[str, MethodFn] = {
     "grid:cdopt": _run_grid("cdopt"),
     "table1:probe": _run_table1_probe,
     "appendixc": _run_appendix_c,
+    "crash": _run_crash,
 }
 
 _GREEDY_RULES = ("most-red-inputs", "fewest-blue-inputs", "red-ratio")

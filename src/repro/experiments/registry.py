@@ -13,6 +13,29 @@ run`` executes them after every run (``--no-check`` skips), which is
 what turns the paper's hardness theorems — decision thresholds, the
 ``2k'|VC|`` accounting, the greedy-defeating grid gap — into
 regression gates instead of print statements.
+
+Examples
+--------
+The built-ins are importable by name; each knows its grid size:
+
+>>> from repro.experiments import get_spec
+>>> smoke = get_spec("smoke")
+>>> smoke.name, smoke.n_tasks
+('smoke', 12)
+
+Names are unique — re-registering without ``replace=True`` refuses:
+
+>>> from repro.experiments.registry import register_spec
+>>> register_spec(smoke)
+Traceback (most recent call last):
+    ...
+ValueError: experiment spec 'smoke' already registered
+
+Assertion suites attach by spec name and are looked up the same way:
+
+>>> from repro.experiments.registry import checks_for
+>>> len(checks_for("hardness-smoke")) >= 1
+True
 """
 
 from __future__ import annotations

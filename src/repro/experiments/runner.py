@@ -1,129 +1,38 @@
-"""Parallel experiment execution with timeouts and a result cache.
+"""The experiment scheduling core: cache partition + backend dispatch.
 
-The :class:`Runner` fans an :class:`~repro.experiments.ExperimentSpec`'s
-task grid out over ``multiprocessing`` workers.  Three properties the
-bench harness leans on:
+The :class:`Runner` is now a *pure scheduler*.  Given a spec (or an
+explicit task list) it:
 
-* **per-task timeouts** — a worker stuck on one cell (e.g. ``exact`` on
-  a too-large DAG) is terminated and replaced; the grid keeps going and
-  the cell is recorded as ``status=timeout``;
-* **content-hash result cache** — every finished cell is written to
-  ``cache_dir/<hash>.json`` keyed by the task's content hash (DAG spec,
-  model, method, R, epsilon — not the spec name), so re-running a spec,
-  or a different spec sharing cells, replays instantly;
-* **crash isolation** — a worker that dies (segfault, OOM kill) yields
-  an ``error`` record for its task and a fresh worker, never a hung run.
+1. partitions tasks into cache hits and fresh work against a pluggable
+   :class:`~repro.experiments.store.ResultStore`;
+2. dispatches the fresh tasks to a pluggable
+   :class:`~repro.experiments.backends.ExecutionBackend`
+   (inline / multiprocessing pool / the service's persistent pool);
+3. stores finished results and returns everything in task order.
 
-``jobs=0`` runs tasks inline in the calling process — deterministic and
-debugger-friendly, used by the ported benchmark scripts — but cannot
-enforce timeouts.  Any ``jobs >= 1`` uses worker processes.
+The PR 1 surface is unchanged: ``Runner(jobs=N, timeout=..,
+cache_dir=.., refresh=..)`` behaves exactly as before — ``jobs=0`` runs
+inline (deterministic, no timeout enforcement), ``jobs>=1`` uses worker
+processes with per-task timeouts and crash isolation, and ``cache_dir``
+is the PR 1 JSON-file cache (now :class:`JsonDirStore`).  New callers
+can instead inject ``store=`` (e.g. a shared
+:class:`~repro.experiments.store.SQLiteResultStore`) and ``backend=``
+(a persistent pool the Runner must *not* close) — which is how the
+service layer in :mod:`repro.service` drives thousands of tiny request
+batches through one warm pool and one durable store.
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import multiprocessing.connection
 import os
-import time
-import traceback
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from .results import RunResult, RunStatus
-from .spec import ExperimentSpec, TaskSpec, resolve_red_limit
+from .backends import ExecutionBackend, backend_for_jobs, execute_task
+from .results import RunResult
+from .spec import ExperimentSpec, TaskSpec
+from .store import JsonDirStore, ResultStore
 
 __all__ = ["Runner", "execute_task"]
-
-#: cacheable terminal states — timeouts/errors are retried on the next run
-_CACHEABLE = (RunStatus.OK, RunStatus.INFEASIBLE)
-
-
-def execute_task(task: TaskSpec) -> RunResult:
-    """Run one task to completion in the current process."""
-    from fractions import Fraction
-
-    from ..core.errors import InfeasibleInstanceError
-    from ..core.instance import PebblingInstance
-    from ..generators import dag_from_spec
-    from .methods import resolve_method
-
-    start = time.perf_counter()
-    red: Optional[int] = None
-    try:
-        method = resolve_method(task.method)
-        dag = dag_from_spec(task.dag)
-        red = resolve_red_limit(task.red_limit, dag.min_red_pebbles)
-        inst = PebblingInstance(
-            dag=dag,
-            model=task.model,
-            red_limit=red,
-            epsilon=Fraction(task.epsilon),
-        )
-        outcome = method(inst, task)
-    except InfeasibleInstanceError as exc:
-        return RunResult(
-            spec=task.spec,
-            dag=task.dag,
-            model=task.model,
-            method=task.method,
-            red_limit=red,
-            status=RunStatus.INFEASIBLE,
-            wall_time=time.perf_counter() - start,
-            task_hash=task.content_hash(),
-            error=str(exc),
-        )
-    except Exception as exc:
-        return RunResult(
-            spec=task.spec,
-            dag=task.dag,
-            model=task.model,
-            method=task.method,
-            red_limit=red,
-            status=RunStatus.ERROR,
-            wall_time=time.perf_counter() - start,
-            task_hash=task.content_hash(),
-            error=f"{type(exc).__name__}: {exc}",
-        )
-    return RunResult(
-        spec=task.spec,
-        dag=task.dag,
-        model=task.model,
-        method=task.method,
-        red_limit=red,
-        cost=str(outcome.cost),
-        n_moves=outcome.n_moves,
-        status=RunStatus.OK,
-        wall_time=time.perf_counter() - start,
-        task_hash=task.content_hash(),
-        extra=dict(outcome.extra),
-    )
-
-
-def _worker_loop(conn) -> None:  # pragma: no cover - exercised in subprocesses
-    """Worker process: receive task dicts, send back result dicts."""
-    try:
-        while True:
-            payload = conn.recv()
-            if payload is None:
-                break
-            try:
-                result = execute_task(TaskSpec.from_dict(payload))
-                conn.send(result.to_dict())
-            except Exception:
-                conn.send({"__worker_error__": traceback.format_exc()})
-    except (EOFError, KeyboardInterrupt):
-        pass
-    finally:
-        conn.close()
-
-
-@dataclass
-class _Worker:
-    process: multiprocessing.Process
-    conn: "multiprocessing.connection.Connection"
-    task: Optional[TaskSpec] = None
-    started: float = 0.0
 
 
 class Runner:
@@ -133,15 +42,22 @@ class Runner:
     ----------
     jobs:
         Number of worker processes; ``0`` runs inline (no subprocesses,
-        no timeout enforcement).
+        no timeout enforcement).  Ignored when ``backend`` is given.
     timeout:
         Per-task wall-clock limit in seconds; overrides the spec's own
         ``timeout`` when given.
     cache_dir:
-        Directory for the content-hash result cache; None disables
-        caching entirely.
+        Directory for the PR 1 JSON-file result cache; None disables
+        caching (unless ``store`` is given).
     refresh:
         Ignore (but still rewrite) existing cache entries.
+    store:
+        An explicit :class:`ResultStore` (takes precedence over
+        ``cache_dir``).  The Runner never closes an injected store.
+    backend:
+        An explicit :class:`ExecutionBackend`.  The Runner never closes
+        an injected backend — pass one to share a warm worker pool
+        across many ``run()`` calls.
     """
 
     def __init__(
@@ -151,46 +67,44 @@ class Runner:
         timeout: Optional[float] = None,
         cache_dir: Optional[Union[str, os.PathLike]] = None,
         refresh: bool = False,
+        store: Optional[ResultStore] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.jobs = jobs
         self.timeout = timeout
-        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         self.refresh = refresh
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        if store is not None:
+            self.store: Optional[ResultStore] = store
+        elif self.cache_dir is not None:
+            self.store = JsonDirStore(self.cache_dir)
+        else:
+            self.store = None
+        self._backend = backend
 
-    # -- cache ---------------------------------------------------------
+    # -- scheduling core ----------------------------------------------
 
-    def _cache_path(self, task: TaskSpec) -> Optional[str]:
-        if self.cache_dir is None:
-            return None
-        return os.path.join(self.cache_dir, task.content_hash() + ".json")
+    def partition(
+        self, tasks: Sequence[TaskSpec]
+    ) -> "Tuple[Dict[int, RunResult], List[Tuple[int, TaskSpec]]]":
+        """Split tasks into ``{index: cached result}`` and fresh work.
 
-    def _cache_load(self, task: TaskSpec) -> Optional[RunResult]:
-        path = self._cache_path(task)
-        if path is None or self.refresh or not os.path.exists(path):
-            return None
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-            result = RunResult.from_dict(payload)
-        except (OSError, ValueError, KeyError):
-            return None  # unreadable entry: recompute and overwrite
-        from dataclasses import replace
-
-        return replace(result, spec=task.spec, cached=True)
-
-    def _cache_store(self, result: RunResult) -> None:
-        if self.cache_dir is None or result.status not in _CACHEABLE:
-            return
-        os.makedirs(self.cache_dir, exist_ok=True)
-        path = os.path.join(self.cache_dir, result.task_hash + ".json")
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(result.to_dict(), fh)
-        os.replace(tmp, path)
-
-    # -- execution -----------------------------------------------------
+        Pure bookkeeping against the store — no execution.  ``refresh``
+        forces everything into the fresh list.
+        """
+        hits: Dict[int, RunResult] = {}
+        fresh: List[Tuple[int, TaskSpec]] = []
+        for i, task in enumerate(tasks):
+            found = None
+            if self.store is not None and not self.refresh:
+                found = self.store.get(task)
+            if found is not None:
+                hits[i] = found
+            else:
+                fresh.append((i, task))
+        return hits, fresh
 
     def run(
         self,
@@ -200,148 +114,29 @@ class Runner:
     ) -> List[RunResult]:
         """Run a spec (or an explicit task list); results in task order."""
         tasks = spec.tasks() if isinstance(spec, ExperimentSpec) else list(spec)
-        results: Dict[int, RunResult] = {}
-        fresh: List["tuple[int, TaskSpec]"] = []
-        for i, task in enumerate(tasks):
-            hit = self._cache_load(task)
-            if hit is not None:
-                results[i] = hit
-                if on_result:
-                    on_result(hit)
-            else:
-                fresh.append((i, task))
+        results, fresh = self.partition(tasks)
+        if on_result:
+            for i in sorted(results):
+                on_result(results[i])
 
         if fresh:
-            if self.jobs == 0:
-                for i, task in fresh:
-                    result = execute_task(task)
-                    self._cache_store(result)
-                    results[i] = result
+            backend = self._backend
+            owned = backend is None
+            if owned:
+                backend = backend_for_jobs(self.jobs)
+            try:
+                def collect(result: RunResult) -> None:
+                    if self.store is not None:
+                        self.store.put(result)
                     if on_result:
                         on_result(result)
-            else:
-                for i, result in self._run_parallel(fresh):
-                    self._cache_store(result)
+
+                for i, result in backend.run_tasks(
+                    fresh, timeout=self.timeout, on_result=collect
+                ):
                     results[i] = result
-                    if on_result:
-                        on_result(result)
+            finally:
+                if owned:
+                    backend.close()
 
         return [results[i] for i in range(len(tasks))]
-
-    def _effective_timeout(self, task: TaskSpec) -> Optional[float]:
-        return self.timeout if self.timeout is not None else task.timeout
-
-    def _spawn(self, ctx) -> _Worker:
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(target=_worker_loop, args=(child_conn,), daemon=True)
-        proc.start()
-        child_conn.close()
-        return _Worker(process=proc, conn=parent_conn)
-
-    def _retire(self, worker: _Worker) -> None:
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
-        worker.process.terminate()
-        worker.process.join(timeout=5)
-
-    def _failure_result(self, task: TaskSpec, status: RunStatus, error: str,
-                        wall: float) -> RunResult:
-        # resolve R here so the failed cell lands in the same table row as
-        # its siblings; DAG construction is cheap even when the method isn't
-        try:
-            from ..generators import dag_from_spec
-
-            red = resolve_red_limit(task.red_limit, dag_from_spec(task.dag).min_red_pebbles)
-        except Exception:
-            red = task.red_limit if isinstance(task.red_limit, int) else None
-        return RunResult(
-            spec=task.spec,
-            dag=task.dag,
-            model=task.model,
-            method=task.method,
-            red_limit=red,
-            status=status,
-            wall_time=wall,
-            task_hash=task.content_hash(),
-            error=error,
-        )
-
-    def _run_parallel(self, fresh):
-        ctx = multiprocessing.get_context()
-        n = min(self.jobs, len(fresh))
-        idle = [self._spawn(ctx) for _ in range(n)]
-        busy: Dict[int, _Worker] = {}  # index into `fresh` task list -> worker
-        pending = list(reversed(fresh))
-        produced = []
-        try:
-            while pending or busy:
-                while pending and idle:
-                    index, task = pending.pop()
-                    worker = idle.pop()
-                    worker.task = task
-                    worker.started = time.monotonic()
-                    try:
-                        worker.conn.send(task.to_dict())
-                    except (BrokenPipeError, OSError):
-                        # worker died while idle: replace it, re-queue the task
-                        self._retire(worker)
-                        pending.append((index, task))
-                        idle.append(self._spawn(ctx))
-                        continue
-                    busy[index] = worker
-
-                conns = [w.conn for w in busy.values()]
-                ready = multiprocessing.connection.wait(conns, timeout=0.05)
-                for index in list(busy):
-                    worker = busy[index]
-                    if worker.conn not in ready:
-                        continue
-                    task = worker.task
-                    try:
-                        payload = worker.conn.recv()
-                    except (EOFError, OSError):
-                        # worker died mid-task (segfault/OOM): replace it
-                        del busy[index]
-                        self._retire(worker)
-                        produced.append((index, self._failure_result(
-                            task, RunStatus.ERROR, "worker process died",
-                            time.monotonic() - worker.started)))
-                        idle.append(self._spawn(ctx))
-                        continue
-                    del busy[index]
-                    worker.task = None
-                    idle.append(worker)
-                    if "__worker_error__" in payload:
-                        produced.append((index, self._failure_result(
-                            task, RunStatus.ERROR, payload["__worker_error__"],
-                            time.monotonic() - worker.started)))
-                    else:
-                        produced.append((index, RunResult.from_dict(payload)))
-
-                now = time.monotonic()
-                for index in list(busy):
-                    worker = busy[index]
-                    limit = self._effective_timeout(worker.task)
-                    if limit is not None and now - worker.started > limit:
-                        del busy[index]
-                        task = worker.task
-                        self._retire(worker)
-                        produced.append((index, self._failure_result(
-                            task, RunStatus.TIMEOUT,
-                            f"exceeded {limit}s", now - worker.started)))
-                        idle.append(self._spawn(ctx))
-        finally:
-            for worker in idle:
-                try:
-                    worker.conn.send(None)
-                except (OSError, BrokenPipeError):
-                    pass
-            for worker in idle:
-                worker.process.join(timeout=2)
-                if worker.process.is_alive():
-                    worker.process.terminate()
-            for worker in busy.values():
-                self._retire(worker)
-        return produced

@@ -26,11 +26,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .._version import __version__
+
 __all__ = ["ExperimentSpec", "TaskSpec", "resolve_red_limit"]
 
 RedSpec = Union[int, str]
 
-#: bump to invalidate cached results when task semantics change
+#: bump to invalidate cached results when task semantics change without a
+#: package-version bump (the version is hashed too, see content_hash)
 CACHE_VERSION = 1
 
 
@@ -72,10 +75,14 @@ class TaskSpec:
         The spec name and timeout are excluded — the same cell reached
         from two specs (or with a different patience) has the same
         outcome.  ``@file.json`` DAG specs hash the file *contents*, so
-        editing the file invalidates cached cells.
+        editing the file invalidates cached cells.  The repro package
+        version is hashed in, so a persistent store written by an older
+        kernel (different solver semantics, different extras) is never
+        served as fresh after an upgrade.
         """
         payload = {
             "v": CACHE_VERSION,
+            "repro": __version__,
             "dag": self.dag,
             "model": self.model,
             "method": self.method,

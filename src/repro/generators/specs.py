@@ -72,6 +72,33 @@ capacities (4, 16, unbounded), boundary costs 1 and 8 — and
 ``ml:*`` experiment methods embed this grammar in their method names, so
 a hierarchy travels through the declarative grid (and the result cache
 key) as a plain string.
+
+Examples
+--------
+All three parsers are pure string-to-object functions:
+
+>>> from repro.generators import (dag_from_spec, graph_from_spec,
+...                               hierarchy_from_spec)
+>>> dag_from_spec("pyramid:3").n_nodes
+10
+>>> dag_from_spec("chain:5").min_red_pebbles
+2
+>>> graph_from_spec("cycle:4").m
+4
+>>> hierarchy_from_spec("hier:4,16:1,8").capacities
+(4, 16, None)
+
+Unknown or malformed specs fail fast with an actionable message — the
+service layer leans on these messages to map bad queries to HTTP 400:
+
+>>> dag_from_spec("no-such:1")
+Traceback (most recent call last):
+    ...
+ValueError: unknown DAG spec 'no-such:1'
+>>> dag_from_spec("chain:abc")
+Traceback (most recent call last):
+    ...
+ValueError: bad DAG spec 'chain:abc': invalid literal for int() with base 10: 'abc'
 """
 
 from __future__ import annotations

@@ -1,0 +1,34 @@
+"""Pebbling-as-a-service: an asyncio HTTP/JSON API over the runner.
+
+The service wraps the experiment subsystem in a long-running server
+(``repro-pebble serve``): clients POST DAG-spec/method/red-limit
+queries, and the service answers from a persistent content-hash result
+store, coalescing concurrent duplicate queries and batching compatible
+pending requests into grid cells executed on a warm worker pool with
+per-request timeouts and crash isolation.
+
+Layers (see ``docs/api.md`` and ``docs/serving.md``):
+
+* :mod:`~repro.service.schema` — request/response JSON schemas and
+  validation (:class:`QueryRequest`, :class:`SchemaError`);
+* :mod:`~repro.service.jobs` — :class:`JobQueue`: coalescing, batching,
+  dispatch to an :class:`~repro.experiments.ExecutionBackend`;
+* :mod:`~repro.service.app` — :class:`PebbleService`, the hand-rolled
+  asyncio HTTP/1.1 server (stdlib only — no aiohttp dependency);
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
+  client behind ``repro-pebble query``.
+"""
+
+from .app import PebbleService
+from .client import ServiceClient, ServiceError
+from .jobs import JobQueue
+from .schema import QueryRequest, SchemaError
+
+__all__ = [
+    "PebbleService",
+    "ServiceClient",
+    "ServiceError",
+    "JobQueue",
+    "QueryRequest",
+    "SchemaError",
+]

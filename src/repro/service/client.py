@@ -1,0 +1,126 @@
+"""Blocking client for the pebbling service: ``repro-pebble query``.
+
+Stdlib-only (``http.client``), one keep-alive connection per
+:class:`ServiceClient`.  Raises :class:`ServiceError` carrying the HTTP
+status and the server's error payload on any non-2xx answer.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        error = (payload or {}).get("error", {}) if isinstance(payload, dict) else {}
+        message = error.get("message") or str(payload)
+        code = error.get("code", "error")
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Talk to a running ``repro-pebble serve`` instance.
+
+    >>> client = ServiceClient("http://127.0.0.1:8757")   # doctest: +SKIP
+    >>> client.query({"dag": "pyramid:3"})["cost"]        # doctest: +SKIP
+    '2'
+    """
+
+    def __init__(self, url: str = "http://127.0.0.1:8757", *, timeout: float = 120.0):
+        parts = urlsplit(url if "//" in url else "http://" + url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8757
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):  # one retry on a stale keep-alive socket
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError:
+            decoded = {"error": {"message": raw.decode("utf-8", "replace")}}
+        if response.status >= 300:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def methods(self) -> List[str]:
+        return self._request("GET", "/v1/methods")["methods"]
+
+    def specs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/specs")["specs"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")["stats"]
+
+    def query(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        """One cell; returns the result record (raises on 4xx/5xx)."""
+        return self._request("POST", "/v1/query", query)["result"]
+
+    def query_raw(self, query: Dict[str, Any]) -> Any:
+        """One cell; the full response envelope, never raising on task
+        failures encoded as non-2xx — use for probing error handling."""
+        try:
+            return self._request("POST", "/v1/query", query)
+        except ServiceError as exc:
+            return exc.payload
+
+    def batch(self, queries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Many cells at once; returns the per-query response envelopes."""
+        try:
+            return self._request("POST", "/v1/batch", {"queries": queries})["results"]
+        except ServiceError as exc:
+            if isinstance(exc.payload, dict) and "results" in exc.payload:
+                return exc.payload["results"]
+            raise

@@ -1,0 +1,188 @@
+"""Request/response JSON schemas for the pebbling service.
+
+A query names one experiment grid cell::
+
+    {
+      "dag": "pyramid:3",          required — DAG spec string
+      "model": "oneshot",          optional — base|oneshot|nodel|compcost
+      "method": "exact",           optional — experiment method name
+      "red_limit": "min",          optional — int or "min"/"min+K"
+      "epsilon": "1/100",          optional — exact fraction string
+      "timeout": 30.0              optional — per-request seconds
+    }
+
+Validation here is *structural* (types, known models, parsable method,
+red-limit/epsilon grammar) and fails fast with :class:`SchemaError`
+→ HTTP 400.  Whether the DAG spec actually builds is decided by the
+execution layer — a bad spec comes back as a task-level error, which
+the app also maps to 400 (see :func:`error_http_status`).
+
+The response envelope is always one of::
+
+    {"ok": true,  "result": {...RunResult fields...}}
+    {"ok": false, "error": {"code": "...", "message": "..."}}
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, Mapping, Optional, Union
+
+from ..core.models import ALL_MODELS
+from ..experiments import RunResult, RunStatus, TaskSpec
+from ..experiments.methods import resolve_method
+
+__all__ = [
+    "QueryRequest",
+    "SchemaError",
+    "parse_query",
+    "result_payload",
+    "error_http_status",
+    "ERROR_CODES",
+]
+
+#: service error codes -> canonical HTTP status
+ERROR_CODES = {
+    "bad-request": 400,        # malformed JSON / schema violation / bad DAG spec
+    "not-found": 404,          # unknown route
+    "method-not-allowed": 405,  # wrong HTTP verb on a known route
+    "payload-too-large": 413,  # body over the configured limit
+    "internal-error": 500,     # unexpected failure inside the service
+    "execution-error": 502,    # the task itself failed (solver exception, crash)
+    "timeout": 504,            # the task exceeded its wall-clock budget
+}
+
+_RED_LIMIT_RE = re.compile(r"^(min(\+\d+)?|\d+)$")
+_MODEL_NAMES = tuple(str(m) for m in ALL_MODELS)
+
+#: spec label recorded on service-originated tasks
+SERVICE_SPEC = "service"
+
+
+class SchemaError(ValueError):
+    """A structurally invalid request (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One validated query = one experiment grid cell."""
+
+    dag: str
+    model: str = "oneshot"
+    method: str = "exact"
+    red_limit: Union[int, str] = "min"
+    epsilon: str = "1/100"
+    timeout: Optional[float] = None
+
+    def task(self, *, timeout: Optional[float] = None) -> TaskSpec:
+        """The equivalent :class:`TaskSpec` (``timeout`` = server default
+        applied when the request names none)."""
+        return TaskSpec(
+            spec=SERVICE_SPEC,
+            dag=self.dag,
+            model=self.model,
+            method=self.method,
+            red_limit=self.red_limit,
+            epsilon=self.epsilon,
+            timeout=self.timeout if self.timeout is not None else timeout,
+        )
+
+
+_KNOWN_FIELDS = frozenset(
+    ("dag", "model", "method", "red_limit", "epsilon", "timeout")
+)
+
+
+def parse_query(payload: Any) -> QueryRequest:
+    """Validate a decoded JSON body into a :class:`QueryRequest`.
+
+    Raises :class:`SchemaError` with a caller-actionable message on any
+    structural problem.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError("request body must be a JSON object")
+    unknown = set(payload) - _KNOWN_FIELDS
+    if unknown:
+        raise SchemaError(f"unknown field(s): {', '.join(sorted(unknown))}")
+
+    dag = payload.get("dag")
+    if not isinstance(dag, str) or not dag.strip():
+        raise SchemaError("'dag' is required and must be a non-empty string")
+
+    model = payload.get("model", "oneshot")
+    if model not in _MODEL_NAMES:
+        raise SchemaError(
+            f"unknown model {model!r}; known: {', '.join(_MODEL_NAMES)}"
+        )
+
+    method = payload.get("method", "exact")
+    if not isinstance(method, str):
+        raise SchemaError("'method' must be a string")
+    try:
+        resolve_method(method)
+    except (ValueError, TypeError) as exc:
+        raise SchemaError(str(exc)) from None
+
+    red_limit = payload.get("red_limit", "min")
+    if isinstance(red_limit, bool) or not isinstance(red_limit, (int, str)):
+        raise SchemaError("'red_limit' must be an int or 'min'/'min+K'")
+    if isinstance(red_limit, str) and not _RED_LIMIT_RE.match(red_limit.strip()):
+        raise SchemaError(f"bad red_limit {red_limit!r}: want int, 'min' or 'min+K'")
+    if isinstance(red_limit, int) and red_limit < 1:
+        raise SchemaError(f"red_limit must be >= 1, got {red_limit}")
+
+    epsilon = payload.get("epsilon", "1/100")
+    if not isinstance(epsilon, str):
+        raise SchemaError("'epsilon' must be a fraction string like '1/100'")
+    try:
+        Fraction(epsilon)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise SchemaError(f"bad epsilon {epsilon!r}: {exc}") from None
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise SchemaError("'timeout' must be a number of seconds")
+        if timeout <= 0:
+            raise SchemaError("'timeout' must be > 0")
+        timeout = float(timeout)
+
+    return QueryRequest(
+        dag=dag.strip(),
+        model=model,
+        method=method,
+        red_limit=red_limit.strip() if isinstance(red_limit, str) else red_limit,
+        epsilon=epsilon,
+        timeout=timeout,
+    )
+
+
+_BAD_SPEC_MARKERS = ("bad DAG spec", "unknown DAG spec", "bad graph spec")
+
+
+def error_http_status(result: RunResult) -> int:
+    """HTTP status for a non-``ok`` execution result.
+
+    Timeouts are the gateway-timeout contract (504); a DAG spec that
+    failed to *parse or build* is the caller's fault (400); anything
+    else that died inside the solver is 502.  Infeasible instances are
+    not errors — the instance provably cannot be pebbled, which is a
+    valid answer (200).
+    """
+    if result.status is RunStatus.TIMEOUT:
+        return ERROR_CODES["timeout"]
+    if result.status is RunStatus.INFEASIBLE:
+        return 200
+    error = result.error or ""
+    if any(marker in error for marker in _BAD_SPEC_MARKERS):
+        return ERROR_CODES["bad-request"]
+    return ERROR_CODES["execution-error"]
+
+
+def result_payload(result: RunResult) -> Dict[str, Any]:
+    """The JSON body for a finished result (both ok and failed cells)."""
+    body = result.to_dict()
+    body.pop("spec", None)  # service-internal label, not caller data
+    return body

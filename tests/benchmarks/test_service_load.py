@@ -1,0 +1,26 @@
+"""Service load test wired into the benchmark artifact.
+
+The CI ``benchmarks`` job runs this with ``--benchmark-enable
+--benchmark-json`` so requests/sec, cache hit rate and p50/p99 latency
+land in the uploaded JSON (``extra_info``); in the tier-1 run the
+project-wide ``--benchmark-disable`` reduces it to a single plain call,
+doubling as an end-to-end service smoke test.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from bench_service_load import check_metrics, run_load  # noqa: E402
+
+
+def test_service_load(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: run_load(clients=8, requests_per_client=25, jobs=2),
+        rounds=1, iterations=1,
+    )
+    check_metrics(metrics)
+    for key in ("rps", "p50_ms", "p99_ms", "cache_hit_rate",
+                "requests", "executed", "coalesced"):
+        benchmark.extra_info[key] = metrics[key]

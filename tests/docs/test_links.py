@@ -1,0 +1,36 @@
+"""The docs site must not rot: every relative markdown link resolves."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+MARKDOWN_FILES = sorted(
+    [REPO / "README.md"]
+    + list((REPO / "docs").glob("*.md"))
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def relative_links(path):
+    for target in _LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_docs_directory_exists():
+    assert (REPO / "docs").is_dir(), "the docs/ site is part of the repo"
+    assert len(MARKDOWN_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", MARKDOWN_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    broken = [
+        target for target in relative_links(path)
+        if not (path.parent / target).exists()
+    ]
+    assert not broken, f"broken links in {path.name}: {broken}"

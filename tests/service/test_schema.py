@@ -1,0 +1,107 @@
+"""Request schema validation and HTTP status mapping."""
+
+import pytest
+
+from repro.experiments import RunResult, RunStatus
+from repro.service.schema import (
+    ERROR_CODES,
+    SchemaError,
+    error_http_status,
+    parse_query,
+    result_payload,
+)
+
+
+def make_result(status, error=None):
+    return RunResult(spec="service", dag="chain:3", model="oneshot",
+                     method="exact", red_limit=2, status=status, error=error)
+
+
+class TestParseQuery:
+    def test_minimal(self):
+        req = parse_query({"dag": "pyramid:3"})
+        assert req.dag == "pyramid:3"
+        assert req.model == "oneshot"
+        assert req.method == "exact"
+        assert req.red_limit == "min"
+        assert req.timeout is None
+
+    def test_full(self):
+        req = parse_query({
+            "dag": " grid:2x3 ", "model": "base", "method": "greedy",
+            "red_limit": "min+2", "epsilon": "1/50", "timeout": 2,
+        })
+        assert req.dag == "grid:2x3"  # whitespace stripped
+        assert req.model == "base"
+        assert req.red_limit == "min+2"
+        assert req.timeout == 2.0 and isinstance(req.timeout, float)
+
+    def test_integer_red_limit(self):
+        assert parse_query({"dag": "chain:3", "red_limit": 4}).red_limit == 4
+
+    def test_task_conversion_applies_server_default_timeout(self):
+        task = parse_query({"dag": "chain:3"}).task(timeout=60.0)
+        assert task.timeout == 60.0
+        assert task.spec == "service"
+        explicit = parse_query({"dag": "chain:3", "timeout": 5}).task(timeout=60.0)
+        assert explicit.timeout == 5.0
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ("not-a-dict", "JSON object"),
+        ([], "JSON object"),
+        ({}, "'dag' is required"),
+        ({"dag": ""}, "'dag' is required"),
+        ({"dag": 42}, "'dag' is required"),
+        ({"dag": "chain:3", "typo_field": 1}, "unknown field"),
+        ({"dag": "chain:3", "model": "quantum"}, "unknown model"),
+        ({"dag": "chain:3", "method": 7}, "'method' must be a string"),
+        ({"dag": "chain:3", "method": "warp-drive"}, "warp-drive"),
+        ({"dag": "chain:3", "red_limit": "min-1"}, "red_limit"),
+        ({"dag": "chain:3", "red_limit": 0}, "red_limit must be >= 1"),
+        ({"dag": "chain:3", "red_limit": True}, "red_limit"),
+        ({"dag": "chain:3", "red_limit": 2.5}, "red_limit"),
+        ({"dag": "chain:3", "epsilon": 0.01}, "'epsilon' must be a fraction"),
+        ({"dag": "chain:3", "epsilon": "1/0"}, "bad epsilon"),
+        ({"dag": "chain:3", "epsilon": "oops"}, "bad epsilon"),
+        ({"dag": "chain:3", "timeout": "soon"}, "'timeout' must be a number"),
+        ({"dag": "chain:3", "timeout": 0}, "'timeout' must be > 0"),
+        ({"dag": "chain:3", "timeout": True}, "'timeout' must be a number"),
+    ])
+    def test_rejections(self, payload, fragment):
+        with pytest.raises(SchemaError, match=".*"):
+            try:
+                parse_query(payload)
+            except SchemaError as exc:
+                assert fragment in str(exc)
+                raise
+
+
+class TestErrorHttpStatus:
+    def test_timeout_is_504(self):
+        assert error_http_status(make_result(RunStatus.TIMEOUT)) == 504
+
+    def test_infeasible_is_a_valid_answer(self):
+        assert error_http_status(make_result(RunStatus.INFEASIBLE)) == 200
+
+    @pytest.mark.parametrize("error", [
+        "ValueError: unknown DAG spec 'no-such-dag:3'",
+        "ValueError: bad DAG spec 'chain:abc': invalid literal",
+    ])
+    def test_unbuildable_dag_is_callers_fault(self, error):
+        assert error_http_status(make_result(RunStatus.ERROR, error)) == 400
+
+    def test_solver_failure_is_502(self):
+        result = make_result(RunStatus.ERROR, "MemoryError: boom")
+        assert error_http_status(result) == 502
+
+    def test_codes_table_consistent(self):
+        assert ERROR_CODES["timeout"] == 504
+        assert ERROR_CODES["bad-request"] == 400
+        assert ERROR_CODES["execution-error"] == 502
+
+
+class TestResultPayload:
+    def test_strips_internal_spec_label(self):
+        body = result_payload(make_result(RunStatus.TIMEOUT))
+        assert "spec" not in body
+        assert body["dag"] == "chain:3"

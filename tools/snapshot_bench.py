@@ -1,0 +1,59 @@
+"""Version a benchmark artifact into ``BENCH_<n>.json`` at the repo root.
+
+The CI ``benchmarks`` job produces one ``benchmark.json`` per run
+(pytest-benchmark format, service load numbers in ``extra_info``).
+This tool gives such an artifact a stable, ordered name so snapshots
+can be committed and diffed across PRs::
+
+    python tools/snapshot_bench.py benchmark.json
+    # -> BENCH_3.json  (one past the highest committed snapshot)
+
+The snapshot is annotated with the source file name and the repro
+package version so a snapshot is traceable without git archaeology.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def next_snapshot_path(root):
+    taken = [
+        int(match.group(1))
+        for entry in root.iterdir()
+        if (match := _SNAPSHOT_RE.match(entry.name))
+    ]
+    return root / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def snapshot(source, root=REPO_ROOT):
+    payload = json.loads(Path(source).read_text())
+    try:
+        sys.path.insert(0, str(root / "src"))
+        from repro import __version__
+    except ImportError:
+        __version__ = "unknown"
+    payload["snapshot"] = {"source": Path(source).name,
+                           "repro_version": __version__}
+    target = next_snapshot_path(root)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("source", help="benchmark JSON to snapshot")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="directory holding the BENCH_<n>.json series")
+    args = parser.parse_args()
+    target = snapshot(args.source, args.root)
+    print(target)
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,18 @@ __all__ = [
 ]
 
 
+def _require_numpy():
+    """Import numpy lazily so :mod:`repro.core` works without it installed."""
+    try:
+        import numpy
+    except ImportError as exc:  # pragma: no cover - numpy is a dependency
+        raise ImportError(
+            "numpy is required for batched state arrays "
+            "(pip install numpy, or use the pure-python engines)"
+        ) from exc
+    return numpy
+
+
 def iter_bits(mask: int) -> Iterator[int]:
     """Yield the indices of the set bits of ``mask``, ascending."""
     while mask:
@@ -188,6 +200,34 @@ class BitLayout:
             self.decode_set(bits.blue),
             self.decode_set(bits.computed),
         )
+
+    # ------------------------------------------------------------------ #
+    # batched (numpy) conversion
+    # ------------------------------------------------------------------ #
+
+    def encode_states(self, states: Iterable[BitState]):
+        """Pack states into a ``(B, 3)`` uint64 array (red, blue, computed).
+
+        This is the conversion boundary of the batched numpy engine
+        (:mod:`repro.solvers.batch_kernel`): one row per state, one
+        column per mask.  Only layouts with at most 64 nodes fit a
+        uint64 lane; larger DAGs must stay on the arbitrary-precision
+        integer path.
+        """
+        np = _require_numpy()
+        if self.n > 64:
+            raise ValueError(
+                f"uint64 state arrays hold at most 64 nodes, layout has {self.n}"
+            )
+        rows = [(s.red, s.blue, s.computed) for s in states]
+        return np.array(rows, dtype=np.uint64).reshape(len(rows), 3)
+
+    def decode_states(self, array) -> List[BitState]:
+        """Inverse of :meth:`encode_states` (rows back to :class:`BitState`)."""
+        return [
+            BitState(int(red), int(blue), int(computed))
+            for red, blue, computed in array.tolist()
+        ]
 
     # ------------------------------------------------------------------ #
     # derived masks

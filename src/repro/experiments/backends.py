@@ -43,6 +43,9 @@ __all__ = [
     "MultiprocessingBackend",
     "execute_task",
     "backend_for_jobs",
+    "PipeWorker",
+    "spawn_pipe_worker",
+    "retire_pipe_worker",
 ]
 
 
@@ -191,11 +194,57 @@ def _worker_loop(conn) -> None:  # pragma: no cover - exercised in subprocesses
 
 
 @dataclass
-class _Worker:
+class PipeWorker:
+    """A worker process plus the parent end of its duplex pipe.
+
+    The spawn/retire pair below is the shared process-pool plumbing: the
+    experiment backend uses it for task workers, and the parallel exact
+    solver (:mod:`repro.solvers.parallel`) uses it for search shards.
+    """
+
     process: multiprocessing.Process
     conn: "multiprocessing.connection.Connection"
     task: Optional[TaskSpec] = None
     started: float = 0.0
+
+
+# backwards-compatible alias (pre-seam name)
+_Worker = PipeWorker
+
+
+def spawn_pipe_worker(ctx, target) -> PipeWorker:
+    """Start ``target(child_conn)`` as a daemon process with a pipe.
+
+    Daemonic processes normally may not have children, but a solver
+    worker running inside a :class:`MultiprocessingBackend` task worker
+    legitimately needs its own shard processes (``exact:par`` served by
+    the service layer).  The daemon flag is lifted for the duration of
+    the ``start()`` call in that case; the grandchild still cannot
+    outlive its parent unnoticed because it exits on pipe EOF.
+    """
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(child_conn,), daemon=True)
+    current = multiprocessing.current_process()
+    was_daemon = current.daemon
+    if was_daemon:
+        current._config["daemon"] = False
+    try:
+        proc.start()
+    finally:
+        if was_daemon:
+            current._config["daemon"] = True
+    child_conn.close()
+    return PipeWorker(process=proc, conn=parent_conn)
+
+
+def retire_pipe_worker(worker: PipeWorker) -> None:
+    """Close the pipe and terminate the process (idempotent, best-effort)."""
+    try:
+        worker.conn.close()
+    except OSError:
+        pass
+    worker.process.terminate()
+    worker.process.join(timeout=5)
 
 
 class MultiprocessingBackend(ExecutionBackend):
@@ -233,20 +282,11 @@ class MultiprocessingBackend(ExecutionBackend):
 
     # -- pool plumbing -------------------------------------------------
 
-    def _spawn(self) -> _Worker:
-        parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(target=_worker_loop, args=(child_conn,), daemon=True)
-        proc.start()
-        child_conn.close()
-        return _Worker(process=proc, conn=parent_conn)
+    def _spawn(self) -> PipeWorker:
+        return spawn_pipe_worker(self._ctx, _worker_loop)
 
-    def _retire(self, worker: _Worker) -> None:
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
-        worker.process.terminate()
-        worker.process.join(timeout=5)
+    def _retire(self, worker: PipeWorker) -> None:
+        retire_pipe_worker(worker)
 
     def _checkout(self) -> _Worker:
         """An idle warm worker, or a fresh one."""

@@ -21,6 +21,11 @@ name                     behaviour
 ``exact``                optimal cost via the bitmask search kernel
 ``exact:legacy``         optimal cost via the frozenset reference solver
                          (cross-checking / debugging the kernel)
+``exact:numpy``          optimal cost via the batched numpy frontier
+                         engine (:mod:`repro.solvers.batch_kernel`)
+``exact:par[:W]``        optimal cost via the HDA*-style sharded parallel
+                         A* (:mod:`repro.solvers.parallel`) on W worker
+                         processes (default 2)
 ``idastar``              optimal cost by iterative-deepening A* (the
                          structurally independent second exact solver)
 ``tradeoff-opt``         the provably optimal Figure 3/4 alternating
@@ -572,6 +577,8 @@ _FIXED: Dict[str, MethodFn] = {
     "greedy": _run_greedy(None),
     "exact": _run_exact("bits"),
     "exact:legacy": _run_exact("legacy"),
+    "exact:numpy": _run_exact("numpy"),
+    "exact:par": _run_exact("par"),
     "idastar": _run_idastar,
     "tradeoff-opt": _run_tradeoff_opt,
     "local-search": _run_local_search(2000),
@@ -610,6 +617,14 @@ def resolve_method(name: str) -> MethodFn:
 
                 hierarchy_from_spec(hier)  # malformed specs must fail fast here
                 return _run_multilevel(sub, hier)
+        if head == "exact" and arg.startswith("par:"):
+            workers = arg[len("par:"):]
+            if not workers.isdigit() or int(workers) < 1:
+                raise ValueError(
+                    f"malformed method {name!r}: exact:par:W needs a "
+                    f"positive integer worker count"
+                )
+            return _run_exact(arg)
         if head == "greedy" and arg in _GREEDY_RULES:
             return _run_greedy(arg)
         if head == "fixed-order":
@@ -630,6 +645,7 @@ def method_names() -> "list[str]":
     return sorted(_FIXED) + [
         "greedy:" + r for r in _GREEDY_RULES
     ] + [
+        "exact:par:W",
         "fixed-order:belady|lru|min-uses|randomN",
         "beam:WIDTH",
         "local-search:EVALS",

@@ -219,6 +219,18 @@ BUILTIN_SPECS = (
         tags=("ci", "fast", "multilevel"),
     ),
     ExperimentSpec(
+        name="parallel-smoke",
+        description=(
+            "Engine-agreement smoke: the batched numpy frontier and the "
+            "sharded parallel A* must match the scalar exact kernel cell "
+            "for cell (the registered check fails the run on any drift)"
+        ),
+        dags=("pyramid:3#r3", "grid:3x3#r3"),
+        models=("oneshot", "base"),
+        methods=("exact", "exact:numpy", "exact:par:2"),
+        tags=("ci", "fast", "engines"),
+    ),
+    ExperimentSpec(
         name="beam-ablation",
         description="Ablation: beam width vs optimality on classic kernels",
         dags=("pyramid:3#r3", "grid:4x4#r3"),
@@ -745,6 +757,21 @@ def _check_table2(results: List[RunResult]) -> None:
             <= baseline.cost_fraction
             <= Fraction(baseline.extra["naive_bound"])
         ), f"{exact.dag}/{exact.model}: baseline outside [opt, (2D+1)n]"
+
+
+@register_check("parallel-smoke")
+def _check_parallel_smoke(results: List[RunResult]) -> None:
+    """Every alternate engine's cell must equal the scalar exact cell."""
+    _assert_all_ok(results)
+    for exact in _cells(results, method="exact"):
+        for alt_method in ("exact:numpy", "exact:par:2"):
+            alt = _cell(
+                results, method=alt_method, dag=exact.dag, model=exact.model
+            )
+            assert alt.cost_fraction == exact.cost_fraction, (
+                f"{exact.dag}/{exact.model}: {alt_method} returned "
+                f"{alt.cost}, scalar exact returned {exact.cost}"
+            )
 
 
 @register_check("hardness-smoke")

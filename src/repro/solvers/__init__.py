@@ -6,6 +6,13 @@ kernel in :mod:`repro.solvers.kernel`; ``solve_optimal_legacy`` keeps the
 original frozenset search as the reference oracle.
 ``solve_multilevel_optimal`` extends the same packed-state machinery to
 the multi-level game of :mod:`repro.multilevel`.
+
+Alternate engines live behind ``solve_optimal(engine=...)``: the batched
+numpy frontier (:mod:`repro.solvers.batch_kernel`, ``engine="numpy"``)
+and the sharded parallel A* (:mod:`repro.solvers.parallel`,
+``engine="par[:W]"``).  ``astar_batch`` and ``solve_optimal_parallel``
+are re-exported lazily so importing this package never pays for numpy
+or multiprocessing setup.
 """
 
 from .bounds import (
@@ -39,8 +46,28 @@ from .group import (
     two_opt_improve,
 )
 
+_LAZY = {
+    "astar_batch": ("repro.solvers.batch_kernel", "astar_batch"),
+    "solve_optimal_parallel": ("repro.solvers.parallel", "solve_optimal_parallel"),
+}
+
+
+def __getattr__(name):
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module), attr)
+
+
 __all__ = [
     "solve_optimal",
+    "astar_batch",
+    "solve_optimal_parallel",
     "solve_optimal_legacy",
     "solve_optimal_idastar",
     "solve_multilevel_optimal",

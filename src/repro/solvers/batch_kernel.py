@@ -1,0 +1,663 @@
+"""Batched numpy frontier engine: expand B packed states per step.
+
+The bitmask kernel (:mod:`repro.solvers.kernel`) already made a state
+three integers, but it still expands one state per python-level loop
+iteration — every pop pays interpreter overhead for the bit scan, the
+tuple allocations and the per-successor heap push.  This module applies
+the data-parallel idiom of DaPPA/SpaDA-style frontier processing to the
+same search: states live in ``uint64`` numpy arrays (one row per state,
+one column per mask) and a whole frontier *batch* moves through each
+stage as vectorized bitwise operations:
+
+* **bucket queue** (Dial's algorithm): move costs are exact scaled
+  integers, so the open list is a dict ``f -> chunks of states`` and the
+  minimum bucket is popped wholesale — natural batches of equal-``f``
+  states replace one-at-a-time heap pops (zero-cost edges refill the
+  current bucket, which is drained before ``f`` advances);
+* **vectorized legal-move masks**: loads/computes/stores for all states
+  of a batch come from ``(B, n)`` broadcasts of the blue/candidate masks
+  against precomputed per-node bit masks, with ``parents ⊆ red`` one
+  AND-compare per (state, node) pair;
+* **delete-normalized successors**: the fused ``Delete(x); move``
+  alphabet of the kernel docstring, vectorized over the batch for each
+  deleted bit ``x`` — the state graph searched is identical to the
+  python kernel's, which is what makes differential testing meaningful;
+* **batched dominance filtering**: popped batches run through the same
+  rule as the python kernel's
+  :class:`~repro.solvers.kernel.DominanceTable` (grouped by
+  ``(blue, computed)``, red-superset at no worse cost) — vectorized as
+  a ``searchsorted`` join against a sorted store when ``2n <= 64``,
+  falling back to the shared python table otherwise.
+
+Exactness is preserved end to end: masks are uint64 (DAGs up to 64
+nodes — beyond that the arbitrary-precision ``bits`` engine takes over),
+costs are the kernel's scaled integers, and the closed/best-``g``
+dictionaries are keyed by exact packed keys, never by lossy hashes.
+
+The pure-python kernel stays authoritative: ``engine="bits"`` remains
+the default of :func:`repro.solvers.exact.solve_optimal`, and the
+differential harness (``tests/solvers/test_engine_differential.py``)
+plus the golden-optima zoo pin this engine to it on every run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - numpy is a dependency
+    raise ImportError(
+        "the batched numpy engine requires numpy; install it or use "
+        "solve_optimal(engine='bits')"
+    ) from exc
+
+from ..core.bitstate import iter_bits
+from ..core.errors import BudgetExceededError, SolverError
+from ..core.instance import PebblingInstance
+from . import kernel
+from .kernel import DominanceTable, Expander, KernelResult
+
+__all__ = [
+    "astar_batch",
+    "popcount_u64",
+    "register_batch_heuristic",
+]
+
+_LOAD, _STORE, _COMPUTE = 0, 1, 2
+
+_U64 = np.uint64
+
+# SWAR popcount constants (used when numpy predates bitwise_count)
+_M1 = _U64(0x5555555555555555)
+_M2 = _U64(0x3333333333333333)
+_M4 = _U64(0x0F0F0F0F0F0F0F0F)
+_H01 = _U64(0x0101010101010101)
+
+
+def popcount_u64(a: "np.ndarray") -> "np.ndarray":
+    """Per-element population count of a uint64 array."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(a)
+    a = a - ((a >> _U64(1)) & _M1)
+    a = (a & _M2) + ((a >> _U64(2)) & _M2)
+    a = (a + (a >> _U64(4))) & _M4
+    return (a * _H01) >> _U64(56)
+
+
+class _VectorDominance:
+    """Vectorized red-superset dominance for layouts with ``2n <= 64``.
+
+    Same rule as :class:`~repro.solvers.kernel.DominanceTable` — a state
+    is pruned when a recorded state with the same ``(blue, computed)``
+    bucket holds a red superset at no worse cost — but the store is a
+    set of flat arrays sorted by bucket key, so a whole popped batch is
+    checked with one ``searchsorted`` join instead of per-state python
+    scans.  Unlike the python table, batch-mates are not checked against
+    each other (they are admitted together), which can only admit *more*
+    states — a lost prune, never a lost solution.
+    """
+
+    __slots__ = ("shift", "bk", "red", "g")
+
+    def __init__(self, n: int):
+        self.shift = _U64(n)
+        self.bk = np.empty(0, dtype=_U64)
+        self.red = np.empty(0, dtype=_U64)
+        self.g = np.empty(0, dtype=np.int64)
+
+    def filter_batch(self, red, blue, computed, g) -> "np.ndarray":
+        """Boolean keep-mask over the batch; admitted states are recorded."""
+        bk = (blue << self.shift) | computed
+        m = len(bk)
+        keep = np.ones(m, dtype=bool)
+        if len(self.bk):
+            lo = np.searchsorted(self.bk, bk, side="left")
+            hi = np.searchsorted(self.bk, bk, side="right")
+            counts = hi - lo
+            total = int(counts.sum())
+            if total:
+                fci = np.repeat(np.arange(m), counts)
+                # flat store index: each row i scans self.bk[lo[i]:hi[i]]
+                fsi = np.arange(total) + np.repeat(lo - (np.cumsum(counts) - counts), counts)
+                dom = (self.g[fsi] <= g[fci]) & (
+                    (red[fci] & ~self.red[fsi]) == 0
+                )
+                keep[fci[dom]] = False
+        if keep.any():
+            self.bk = np.concatenate([self.bk, bk[keep]])
+            self.red = np.concatenate([self.red, red[keep]])
+            self.g = np.concatenate([self.g, g[keep]])
+            order = np.argsort(self.bk, kind="stable")
+            self.bk = self.bk[order]
+            self.red = self.red[order]
+            self.g = self.g[order]
+        return keep
+
+
+class _GStore:
+    """Sorted-array best-``g`` store for single-``uint64`` packed keys.
+
+    Replaces the ``closed`` set and the ``best_g`` dict of the generic
+    path with two flat arrays sorted by packed key, so both the pop-time
+    freshness check and the successor improvement filter become
+    ``searchsorted`` lookups plus boolean masks.  A *settled* (expanded)
+    state is encoded in place as ``g -> -g - 1``: real costs are
+    non-negative, so any later copy of the state fails both the
+    "fresh at its recorded g" test and the "improves on the old g" test
+    without a separate closed set.
+    """
+
+    __slots__ = ("keys", "g")
+
+    def __init__(self, start_key: int):
+        self.keys = np.array([start_key], dtype=_U64)
+        self.g = np.zeros(1, dtype=np.int64)
+
+    def _lookup(self, karr):
+        pos = np.searchsorted(self.keys, karr)
+        pos = np.minimum(pos, len(self.keys) - 1)
+        found = self.keys[pos] == karr
+        return pos, found
+
+    def settle(self, karr, g) -> "np.ndarray":
+        """Keep-mask of batch rows popped at their recorded (optimal) g.
+
+        ``karr`` must be duplicate-free; admitted rows are marked settled.
+        """
+        pos, found = self._lookup(karr)
+        fresh = found & (self.g[pos] == g)
+        fpos = pos[fresh]
+        self.g[fpos] = -self.g[fpos] - 1
+        return fresh
+
+    def update(self, karr, ng) -> "np.ndarray":
+        """Keep-mask of successors that are new or strictly improve.
+
+        ``karr`` must be duplicate-free; improved/new g values are
+        recorded (settled entries are never improved: their stored value
+        is negative, below any real cost).
+        """
+        pos, found = self._lookup(karr)
+        improved = found & (ng < self.g[pos])
+        self.g[pos[improved]] = ng[improved]
+        new = ~found
+        if new.any():
+            self.keys = np.concatenate([self.keys, karr[new]])
+            self.g = np.concatenate([self.g, ng[new]])
+            order = np.argsort(self.keys, kind="stable")
+            self.keys = self.keys[order]
+            self.g = self.g[order]
+        return new | improved
+
+
+class _BatchContext:
+    """Numpy-side mirror of the :class:`Expander` precomputations."""
+
+    __slots__ = (
+        "ex",
+        "n",
+        "bits",
+        "parent_masks",
+        "full_mask",
+        "sink_mask",
+        "pack_shift",
+    )
+
+    def __init__(self, ex: Expander):
+        n = ex.n
+        if n > 64:
+            raise ValueError(
+                f"the numpy engine packs states into uint64 lanes and "
+                f"supports at most 64 nodes; this DAG has {n} "
+                f"(use engine='bits')"
+            )
+        self.ex = ex
+        self.n = n
+        self.bits = _U64(1) << np.arange(n, dtype=_U64)
+        self.parent_masks = np.array(ex.parent_masks, dtype=_U64)
+        self.full_mask = _U64(ex.full_mask)
+        self.sink_mask = _U64(ex.sink_mask)
+        # 3n <= 64: a whole state packs into one uint64, so batch keys
+        # come from vector arithmetic; otherwise keys are (r, b, c) tuples
+        self.pack_shift = n if 3 * n <= 64 else None
+
+    def keys_of(self, red, blue, computed) -> list:
+        """Exact dictionary keys for a batch, cheapest representation."""
+        shift = self.pack_shift
+        if shift is not None:
+            return (
+                (red << _U64(2 * shift)) | (blue << _U64(shift)) | computed
+            ).tolist()
+        return list(zip(red.tolist(), blue.tolist(), computed.tolist()))
+
+    def start_key(self):
+        return 0 if self.pack_shift is not None else (0, 0, 0)
+
+
+# --------------------------------------------------------------------- #
+# batched heuristics
+# --------------------------------------------------------------------- #
+
+#: compilers turning a PebblingState-level heuristic into a batched one;
+#: ``compiler(ctx)`` returns ``h(red, blue, computed) -> int64 array``
+#: in scaled integer cost units.
+_BATCH_HEURISTICS: Dict[object, Callable] = {}
+
+
+def register_batch_heuristic(heuristic, compiler) -> None:
+    """Register a batched compiler for a PebblingState-level heuristic.
+
+    Mirrors :func:`repro.solvers.kernel.register_bit_heuristic`; without
+    a batched compiler the engine falls back to evaluating the bit-native
+    (or decoded) heuristic state by state — exact, but unvectorized.
+    """
+    _BATCH_HEURISTICS[heuristic] = compiler
+
+
+def _compile_batch_heuristic(ctx: _BatchContext, heuristic):
+    if heuristic is None:
+        return None
+    compiler = _BATCH_HEURISTICS.get(heuristic)
+    if compiler is not None:
+        return compiler(ctx)
+    scalar = kernel._compile_heuristic(ctx.ex, heuristic)
+
+    def h(red, blue, computed):
+        values = [
+            scalar(r, b, c)
+            for r, b, c in zip(red.tolist(), blue.tolist(), computed.tolist())
+        ]
+        return np.array(values, dtype=np.int64)
+
+    return h
+
+
+def _compile_compcost_batch(ctx: _BatchContext):
+    """Vectorized twin of the compcost heuristic's bit-native compiler."""
+    ex = ctx.ex
+    layout = ex.layout
+    compute_i = ex.compute_i
+    nonsource = _U64(layout.full_mask & ~layout.source_mask)
+    closures = [
+        (ctx.bits[s], _U64(layout.ancestor_closure_of_sink(s)))
+        for s in iter_bits(layout.sink_mask)
+    ]
+
+    def h(red, blue, computed):
+        if compute_i == 0:
+            return np.zeros(len(red), dtype=np.int64)
+        pebbled = red | blue
+        needed = np.zeros(len(red), dtype=_U64)
+        for sink_bit, closure in closures:
+            needed[(pebbled & sink_bit) == 0] |= closure
+        missing = popcount_u64(needed & ~computed & nonsource)
+        return compute_i * missing.astype(np.int64)
+
+    return h
+
+
+# the import is safe: repro.solvers.exact never imports this module at
+# module scope (only lazily inside solve_optimal)
+from .exact import compcost_heuristic  # noqa: E402
+
+register_batch_heuristic(compcost_heuristic, _compile_compcost_batch)
+
+
+# --------------------------------------------------------------------- #
+# vectorized successor generation
+# --------------------------------------------------------------------- #
+
+
+def _expand_batch(ctx: _BatchContext, red, blue, computed):
+    """All delete-normalized successors of a batch, as flat arrays.
+
+    Returns ``(parent_idx, nred, nblue, ncomputed, cost, code)`` where
+    ``parent_idx`` indexes into the input batch.  The edge alphabet is
+    exactly :meth:`Expander.successors`, vectorized.
+    """
+    ex = ctx.ex
+    n = ctx.n
+    bits = ctx.bits
+    parent_masks = ctx.parent_masks
+
+    pi_parts: List[np.ndarray] = []
+    red_parts: List[np.ndarray] = []
+    blue_parts: List[np.ndarray] = []
+    comp_parts: List[np.ndarray] = []
+    cost_parts: List[np.ndarray] = []
+    code_parts: List[np.ndarray] = []
+
+    def emit(pi, nred, nblue, ncomp, cost_i, codes):
+        if len(pi) == 0:
+            return
+        pi_parts.append(pi)
+        red_parts.append(nred)
+        blue_parts.append(nblue)
+        comp_parts.append(ncomp)
+        cost_parts.append(np.full(len(pi), cost_i, dtype=np.int64))
+        code_parts.append(codes)
+
+    has_slot = popcount_u64(red) < ex.red_limit
+    if ex.recompute_allowed:
+        candidates = ctx.full_mask & ~red
+    else:
+        candidates = ctx.full_mask & ~computed
+
+    free = np.nonzero(has_slot)[0]
+    if len(free):
+        rf, bf, cf = red[free], blue[free], computed[free]
+        # loads: any blue bit
+        si, vi = np.nonzero((bf[:, None] & bits[None, :]) != 0)
+        emit(free[si], rf[si] | bits[vi], bf[si] ^ bits[vi], cf[si],
+             ex.load_i, _LOAD * n + vi)
+        # computes: candidate bits whose parents are all red
+        computable = (parent_masks[None, :] & ~rf[:, None]) == 0
+        sel = ((candidates[free][:, None] & bits[None, :]) != 0) & computable
+        si, vi = np.nonzero(sel)
+        emit(free[si], rf[si] | bits[vi], bf[si] & ~bits[vi], cf[si] | bits[vi],
+             ex.compute_i, _COMPUTE * n + vi)
+
+    if ex.delete_allowed:
+        # full board: fused Delete(x); Load/Compute(v) successors
+        full = np.nonzero(~has_slot)[0]
+        if len(full):
+            fused = 4 * n
+            rF, bF, cF = red[full], blue[full], computed[full]
+            candF = candidates[full]
+            for x in range(n):
+                xbit = bits[x]
+                holders = np.nonzero((rF & xbit) != 0)[0]
+                if len(holders) == 0:
+                    continue
+                base = fused * (x + 1)
+                red_x = rF[holders] ^ xbit
+                bh, ch = bF[holders], cF[holders]
+                si, vi = np.nonzero((bh[:, None] & bits[None, :]) != 0)
+                emit(full[holders[si]], red_x[si] | bits[vi],
+                     bh[si] ^ bits[vi], ch[si],
+                     ex.delete_i + ex.load_i, base + _LOAD * n + vi)
+                computable = (parent_masks[None, :] & ~red_x[:, None]) == 0
+                sel = ((candF[holders][:, None] & bits[None, :]) != 0) & computable
+                si, vi = np.nonzero(sel)
+                emit(full[holders[si]], red_x[si] | bits[vi],
+                     bh[si] & ~bits[vi], ch[si] | bits[vi],
+                     ex.delete_i + ex.compute_i, base + _COMPUTE * n + vi)
+
+    # stores: any red bit, at or below capacity alike
+    si, vi = np.nonzero((red[:, None] & bits[None, :]) != 0)
+    emit(si, red[si] ^ bits[vi], blue[si] | bits[vi], computed[si],
+         ex.store_i, _STORE * n + vi)
+
+    if not pi_parts:
+        empty_u = np.empty(0, dtype=_U64)
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_u, empty_u, empty_u, empty_i, empty_i
+    return (
+        np.concatenate(pi_parts),
+        np.concatenate(red_parts),
+        np.concatenate(blue_parts),
+        np.concatenate(comp_parts),
+        np.concatenate(cost_parts),
+        np.concatenate(code_parts),
+    )
+
+
+# --------------------------------------------------------------------- #
+# batched A* / uniform-cost search
+# --------------------------------------------------------------------- #
+
+
+def astar_batch(
+    instance: PebblingInstance,
+    *,
+    budget: int = 2_000_000,
+    return_schedule: bool = True,
+    heuristic=None,
+    dominance: bool = True,
+    max_batch: int = 4096,
+    on_exhausted: str = "raise",
+) -> KernelResult:
+    """Optimal pebbling cost by batched best-first search over state arrays.
+
+    Same contract as :func:`repro.solvers.kernel.astar_bits` — same edge
+    alphabet, same dominance rule, same budget/exhaustion semantics —
+    with expansion proceeding a frontier batch (up to ``max_batch``
+    states of minimal ``f``) at a time.  Expansion *order* within one
+    cost level differs from the python kernel's heap tie-breaking, so
+    ``expanded``/``generated`` counters are comparable but not identical
+    across engines.
+    """
+    ex = Expander(instance)
+    if ex.sink_mask == 0:  # empty DAG (or no sinks): already complete
+        from fractions import Fraction
+
+        return KernelResult(Fraction(0), [] if return_schedule else None, 0, 0)
+    ctx = _BatchContext(ex)
+    h = _compile_batch_heuristic(ctx, heuristic)
+
+    start_red = np.zeros(1, dtype=_U64)
+    if h is not None:
+        h0 = int(h(start_red, start_red, start_red)[0])
+    else:
+        h0 = 0
+    start_key = ctx.start_key()
+
+    # Dial-style bucket queue: f -> list of (red, blue, computed, g) chunks
+    buckets: Dict[int, List[tuple]] = {
+        h0: [(start_red, start_red.copy(), start_red.copy(),
+              np.zeros(1, dtype=np.int64))]
+    }
+    import heapq
+
+    fheap = [h0]
+    # single-uint64 packed keys get the fully vectorized store; wider
+    # layouts (21 < n <= 64) fall back to tuple keys in python dicts
+    fast = ctx.pack_shift is not None
+    if fast:
+        store = _GStore(start_key)
+        closed: set = set()
+        best_g: Dict[object, int] = {}
+    else:
+        closed = set()
+        best_g = {start_key: 0}
+    parents: Dict[object, tuple] = {}
+    if 2 * ctx.n <= 64:
+        tt: object = _VectorDominance(ctx.n)
+    else:
+        tt = DominanceTable(ctx.n)
+    use_dominance = dominance and ex.dominance_safe
+    expanded = 0
+    generated = 0
+    sink_mask = ctx.sink_mask
+
+    def reconstruct(goal_key):
+        codes = []
+        k = goal_key
+        while k in parents:
+            k, code = parents[k]
+            codes.append(code)
+        codes.reverse()
+        return ex.decode_moves(codes)
+
+    while fheap:
+        f = fheap[0]
+        chunk_list = buckets.get(f)
+        if not chunk_list:
+            heapq.heappop(fheap)
+            buckets.pop(f, None)
+            continue
+
+        # gather up to max_batch rows of the minimum-f bucket
+        taken, size = [], 0
+        while chunk_list and size < max_batch:
+            chunk = chunk_list.pop()
+            taken.append(chunk)
+            size += len(chunk[0])
+        if len(taken) == 1:
+            red, blue, computed, g = taken[0]
+        else:
+            red = np.concatenate([c[0] for c in taken])
+            blue = np.concatenate([c[1] for c in taken])
+            computed = np.concatenate([c[2] for c in taken])
+            g = np.concatenate([c[3] for c in taken])
+
+        # drop states already settled (an earlier pop won), dedup in-batch
+        if fast:
+            shift = _U64(ctx.pack_shift)
+            karr = (red << shift << shift) | (blue << shift) | computed
+            if len(karr) > 1:
+                # equal keys in one f-bucket carry equal g (h is a
+                # function of the state), so any representative works
+                karr, first = np.unique(karr, return_index=True)
+                red, blue, computed, g = (
+                    red[first], blue[first], computed[first], g[first]
+                )
+            fresh = store.settle(karr, g)
+            if not fresh.all():
+                if not fresh.any():
+                    continue
+                idx = np.nonzero(fresh)[0]
+                red, blue, computed, g, karr = (
+                    red[idx], blue[idx], computed[idx], g[idx], karr[idx]
+                )
+            keys = None
+        else:
+            keys = ctx.keys_of(red, blue, computed)
+            keep = [
+                i for i, k in enumerate(keys)
+                if k not in closed and not closed.add(k)
+            ]
+            if not keep:
+                continue
+            if len(keep) != len(keys):
+                idx = np.array(keep)
+                red, blue, computed, g = red[idx], blue[idx], computed[idx], g[idx]
+                keys = [keys[i] for i in keep]
+
+        goal = np.nonzero((sink_mask & ~(red | blue)) == 0)[0]
+        if len(goal):
+            i = int(goal[0])
+            goal_key = int(karr[i]) if fast else keys[i]
+            moves = reconstruct(goal_key) if return_schedule else None
+            return KernelResult(
+                ex.unscale(int(g[i])), moves, expanded, generated
+            )
+
+        if use_dominance:
+            if isinstance(tt, _VectorDominance):
+                mask = tt.filter_batch(red, blue, computed, g)
+                if not mask.all():
+                    if not mask.any():
+                        continue
+                    idx = np.nonzero(mask)[0]
+                    red, blue, computed, g = (
+                        red[idx], blue[idx], computed[idx], g[idx]
+                    )
+                    if fast:
+                        karr = karr[idx]
+                    else:
+                        keys = [keys[i] for i in idx.tolist()]
+            else:
+                reds, blues = red.tolist(), blue.tolist()
+                comps, gs = computed.tolist(), g.tolist()
+                keep = [
+                    i
+                    for i in range(len(reds))
+                    if tt.admit(reds[i], blues[i], comps[i], gs[i])
+                ]
+                if not keep:
+                    continue
+                if len(keep) != len(reds):
+                    idx = np.array(keep)
+                    red, blue, computed, g = (
+                        red[idx], blue[idx], computed[idx], g[idx]
+                    )
+                    if fast:
+                        karr = karr[idx]
+                    else:
+                        keys = [keys[i] for i in keep]
+
+        if expanded + len(red) > budget:
+            if on_exhausted == "bound":
+                # this batch came from the minimum open bucket, so f is
+                # the tightest lower bound still open
+                return KernelResult(
+                    ex.unscale(f), None, expanded, generated, complete=False
+                )
+            raise BudgetExceededError(budget)
+        expanded += len(red)
+
+        pi, nred, nblue, ncomp, cost, code = _expand_batch(ctx, red, blue, computed)
+        if len(pi) == 0:
+            continue
+        ng = g[pi] + cost
+
+        if fast:
+            shift = _U64(ctx.pack_shift)
+            kall = (nred << shift << shift) | (nblue << shift) | ncomp
+            if len(kall) > 1:
+                # keep only the min-g representative of each distinct
+                # successor before touching the store
+                order = np.lexsort((ng, kall))
+                ksort = kall[order]
+                first = np.empty(len(order), dtype=bool)
+                first[0] = True
+                np.not_equal(ksort[1:], ksort[:-1], out=first[1:])
+                rep = order[first]
+                pi, nred, nblue, ncomp, ng, code = (
+                    pi[rep], nred[rep], nblue[rep], ncomp[rep],
+                    ng[rep], code[rep],
+                )
+                kall = ksort[first]
+            # settled states carry negative stored g, so the improvement
+            # test alone also rejects every closed state
+            keepm = store.update(kall, ng)
+            if not keepm.any():
+                continue
+            idx = np.nonzero(keepm)[0]
+            generated += len(idx)
+            if return_schedule:
+                parents.update(zip(
+                    kall[idx].tolist(),
+                    zip(karr[pi[idx]].tolist(), code[idx].tolist()),
+                ))
+            nred, nblue, ncomp, ng = nred[idx], nblue[idx], ncomp[idx], ng[idx]
+        else:
+            # a state already settled (popped) has its optimal g in
+            # best_g, so the g-improvement test alone also rejects every
+            # closed state
+            nkeys = ctx.keys_of(nred, nblue, ncomp)
+            ng_list = ng.tolist()
+            pi_list = pi.tolist()
+            code_list = code.tolist()
+            keep = []
+            for j, k in enumerate(nkeys):
+                old = best_g.get(k)
+                gj = ng_list[j]
+                if old is None or gj < old:
+                    best_g[k] = gj
+                    if return_schedule:
+                        parents[k] = (keys[pi_list[j]], code_list[j])
+                    keep.append(j)
+            if not keep:
+                continue
+            generated += len(keep)
+            idx = np.array(keep)
+            nred, nblue, ncomp, ng = nred[idx], nblue[idx], ncomp[idx], ng[idx]
+
+        nf = ng if h is None else ng + h(nred, nblue, ncomp)
+        for fv in np.unique(nf).tolist():
+            sel = np.nonzero(nf == fv)[0]
+            chunk = (nred[sel], nblue[sel], ncomp[sel], ng[sel])
+            bucket = buckets.get(fv)
+            if bucket is None:
+                buckets[fv] = [chunk]
+                heapq.heappush(fheap, fv)
+            else:
+                bucket.append(chunk)
+
+    raise SolverError(
+        "search space exhausted without reaching a complete state "
+        "(this should be impossible for a feasible instance)"
+    )

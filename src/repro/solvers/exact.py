@@ -109,7 +109,7 @@ def compcost_heuristic(state: PebblingState, instance: PebblingInstance) -> Frac
     return eps * missing
 
 
-def _compile_compcost(ex: "kernel._Expander") -> Callable[[int, int, int], int]:
+def _compile_compcost(ex: "kernel.Expander") -> Callable[[int, int, int], int]:
     """Bit-native form of :func:`compcost_heuristic` for the kernel."""
     layout = ex.layout
     compute_i = ex.compute_i
@@ -159,7 +159,11 @@ def solve_optimal(
         bit-natively under the default engine).
     engine:
         ``"bits"`` for the shared bitmask kernel (default), ``"legacy"``
-        for the frozenset reference implementation.
+        for the frozenset reference implementation, ``"numpy"`` for the
+        batched frontier engine of :mod:`repro.solvers.batch_kernel`
+        (DAGs up to 64 nodes), or ``"par"`` / ``"par:W"`` for the
+        HDA*-style sharded parallel A* of :mod:`repro.solvers.parallel`
+        on ``W`` worker processes (default 2).
 
     Notes
     -----
@@ -174,14 +178,46 @@ def solve_optimal(
             return_schedule=return_schedule,
             heuristic=heuristic,
         )
-    if engine != "bits":
-        raise ValueError(f"unknown engine {engine!r}; expected 'bits' or 'legacy'")
-    result = kernel.astar_bits(
-        instance,
-        budget=budget,
-        return_schedule=return_schedule,
-        heuristic=heuristic,
-    )
+    if engine == "numpy":
+        from .batch_kernel import astar_batch
+
+        result = astar_batch(
+            instance,
+            budget=budget,
+            return_schedule=return_schedule,
+            heuristic=heuristic,
+        )
+    elif engine == "par" or engine.startswith("par:"):
+        from .parallel import solve_optimal_parallel
+
+        _, _, arg = engine.partition(":")
+        try:
+            jobs = int(arg) if arg else 2
+        except ValueError:
+            raise ValueError(
+                f"malformed parallel engine {engine!r}; expected 'par' or "
+                f"'par:W' with an integer worker count"
+            ) from None
+        return solve_optimal_parallel(
+            instance,
+            jobs=jobs,
+            budget=budget,
+            return_schedule=return_schedule,
+            heuristic=heuristic,
+        )
+    elif engine == "bits":
+        result = kernel.astar_bits(
+            instance,
+            budget=budget,
+            return_schedule=return_schedule,
+            heuristic=heuristic,
+        )
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid engines: 'bits' (default "
+            f"bitmask kernel), 'legacy' (frozenset reference), 'numpy' "
+            f"(batched frontier), 'par'/'par:W' (sharded parallel A*)"
+        )
     return OptimalResult(
         result.cost,
         kernel.moves_to_schedule(result.moves),

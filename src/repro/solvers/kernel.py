@@ -63,6 +63,8 @@ from ..core.schedule import Schedule
 
 __all__ = [
     "KernelResult",
+    "Expander",
+    "DominanceTable",
     "astar_bits",
     "idastar_bits",
     "register_bit_heuristic",
@@ -87,8 +89,17 @@ class KernelResult(NamedTuple):
     complete: bool = True
 
 
-class _Expander:
-    """Precomputed per-instance search context shared by both strategies."""
+class Expander:
+    """Precomputed per-instance search context — the engine-agnostic seam.
+
+    Every exact engine (the python A*/IDA* strategies here, the numpy
+    batch engine of :mod:`repro.solvers.batch_kernel`, the sharded
+    parallel A* of :mod:`repro.solvers.parallel`) builds one of these and
+    reads the same scaled integer costs, precomputed masks, normalized
+    successor alphabet and move decoding from it, so "what the game is"
+    is defined in exactly one place and the engines differ only in *how*
+    they traverse it.
+    """
 
     __slots__ = (
         "instance",
@@ -138,6 +149,21 @@ class _Expander:
 
     def unscale(self, g: int) -> Fraction:
         return Fraction(g, self.scale)
+
+    def pack_key(self, red: int, blue: int, computed: int) -> int:
+        """One integer key for the open/closed dictionaries of a search."""
+        n = self.n
+        return (red << (2 * n)) | (blue << n) | computed
+
+    def unpack_key(self, key: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`pack_key`."""
+        n = self.n
+        mask = self.full_mask
+        return (key >> (2 * n)) & mask, (key >> n) & mask, key & mask
+
+    def is_goal(self, red: int, blue: int) -> bool:
+        """Every sink carries a pebble of either colour."""
+        return self.sink_mask & ~(red | blue) == 0
 
     def successors(self, red: int, blue: int, computed: int):
         """Yield ``(nred, nblue, ncomputed, cost_i, move_code)`` per edge.
@@ -247,6 +273,42 @@ class _Expander:
         return moves
 
 
+#: backwards-compatible private alias (pre-seam name)
+_Expander = Expander
+
+
+class DominanceTable:
+    """Red-superset dominance bookkeeping, shared by every engine.
+
+    States are bucketed by ``(blue << n) | computed``; a state is
+    *dominated* — and should be pruned instead of expanded — when the
+    bucket already holds an entry with a red superset at no worse cost.
+    Soundness only needs the recorded ``(red, g)`` pairs to be
+    *realizable* (some path reaches that state at that cost), which every
+    engine guarantees by admitting states as it expands them; see the
+    module docstring for the mirroring argument.
+    """
+
+    __slots__ = ("n", "_buckets")
+
+    def __init__(self, n: int):
+        self.n = n
+        self._buckets: Dict[int, List[Tuple[int, int]]] = {}
+
+    def admit(self, red: int, blue: int, computed: int, g: int) -> bool:
+        """Record the state unless dominated; True means "expand it"."""
+        bucket_key = (blue << self.n) | computed
+        bucket = self._buckets.get(bucket_key)
+        if bucket is None:
+            self._buckets[bucket_key] = [(red, g)]
+            return True
+        for r2, g2 in bucket:
+            if g2 <= g and red & ~r2 == 0:
+                return False
+        bucket.append((red, g))
+        return True
+
+
 # ---------------------------------------------------------------------- #
 # heuristics
 # ---------------------------------------------------------------------- #
@@ -254,7 +316,7 @@ class _Expander:
 #: compilers turning a PebblingState-level heuristic into a bit-native one;
 #: populated via register_bit_heuristic (repro.solvers.exact registers the
 #: compcost heuristic at import time).
-_BIT_HEURISTICS: Dict[object, Callable[[_Expander], Callable[[int, int, int], int]]] = {}
+_BIT_HEURISTICS: Dict[object, Callable[[Expander], Callable[[int, int, int], int]]] = {}
 
 
 def register_bit_heuristic(heuristic, compiler) -> None:
@@ -271,7 +333,7 @@ def register_bit_heuristic(heuristic, compiler) -> None:
 
 
 def _compile_heuristic(
-    expander: _Expander, heuristic
+    expander: Expander, heuristic
 ) -> Optional[Callable[[int, int, int], int]]:
     if heuristic is None:
         return None
@@ -316,7 +378,7 @@ def astar_bits(
     :class:`KernelResult` with ``moves=None`` (used by
     :func:`repro.solvers.bounds.exhaustive_cost_bounds`).
     """
-    ex = _Expander(instance)
+    ex = Expander(instance)
     n = ex.n
     shift2 = 2 * n
 
@@ -335,8 +397,7 @@ def astar_bits(
     best_g: Dict[int, int] = {start_key: 0}
     parents: Dict[int, Tuple[int, int]] = {}
     closed = set()
-    # dominance table: (blue << n | computed) -> list of (red, g) settled
-    tt: Dict[int, List[Tuple[int, int]]] = {}
+    tt = DominanceTable(n)
     sink_mask = ex.sink_mask
     expanded = 0
     generated = 0
@@ -361,20 +422,8 @@ def astar_bits(
                 moves = ex.decode_moves(codes)
             return KernelResult(ex.unscale(g), moves, expanded, generated)
 
-        if use_dominance:
-            bucket_key = (blue << n) | computed
-            bucket = tt.get(bucket_key)
-            if bucket is not None:
-                dominated = False
-                for r2, g2 in bucket:
-                    if g2 <= g and red & ~r2 == 0:
-                        dominated = True
-                        break
-                if dominated:
-                    continue
-                bucket.append((red, g))
-            else:
-                tt[bucket_key] = [(red, g)]
+        if use_dominance and not tt.admit(red, blue, computed, g):
+            continue
 
         expanded += 1
         if expanded > budget:
@@ -434,7 +483,7 @@ def idastar_bits(
     cost scaling.  Dominance pruning is not applied here — DFS g-values are
     not settled when first seen, so the table's premise does not hold.
     """
-    ex = _Expander(instance)
+    ex = Expander(instance)
     n = ex.n
     shift2 = 2 * n
 

@@ -1,0 +1,587 @@
+"""HDA*-style parallel exact search: hash-sharded open lists.
+
+Hash Distributed A* (Kishimoto et al.) removes the central open list:
+every state is *owned* by the shard its hash selects, each worker runs
+best-first search over its own open list, and generated successors are
+sent to their owners instead of being pushed locally.  This module
+applies the idea to the pebbling state graph with three specifics:
+
+* **shards are dominance-aligned**: the shard of a state is a mix of
+  its ``(blue, computed)`` masks only — exactly the bucket key of the
+  red-superset :class:`~repro.solvers.kernel.DominanceTable` — so every
+  bucket lives wholly inside one shard and the per-shard tables prune
+  exactly what a global table would;
+* **the parent process is the router**: workers buffer outgoing
+  successor records per destination and flush them as ``route``
+  messages; the parent forwards each batch and counts records per
+  destination, which is what makes termination detection exact —
+  the search is over when an incumbent exists, every worker reports
+  an open list with no entry below the incumbent, every worker has
+  consumed as many records as the parent forwarded to it, and no
+  forward happened since those reports (a versioned ping/status
+  handshake detects this quiescent state without clocks);
+* **reopening instead of a closed set**: a shard may pop a state
+  before its cheapest route arrived, so a later record that improves
+  ``best_g`` re-enqueues the state.  Parent pointers are only rewritten
+  on strict improvement, which keeps the traced move chain acyclic and,
+  at quiescence, exactly optimal (the chain's cost telescopes to the
+  incumbent bound).
+
+Workers are persistent :func:`~repro.experiments.backends.spawn_pipe_worker`
+processes — the same plumbing as the experiment backend's task pool —
+kept warm in a per-worker-count pool between solves, and they exit on
+pipe EOF so a dying parent cannot leak them.  A worker that crashes
+mid-search surfaces as a :class:`~repro.core.errors.SolverError` in the
+parent, never as a wrong answer: the answer is only ever produced by
+the quiescence proof above.
+
+Schedules are reconstructed by walking the distributed parent chain:
+the parent asks each key's owning shard for its ``(parent, move)``
+entry, one round-trip per move.
+"""
+
+from __future__ import annotations
+
+import atexit
+import heapq
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import BudgetExceededError, SolverError
+from ..core.instance import PebblingInstance
+from ..core.schedule import Schedule
+from . import kernel
+
+__all__ = ["solve_optimal_parallel", "shard_of"]
+
+_MIX1 = 0x9E3779B97F4A7C15
+_MIX2 = 0xBF58476D1CE4E5B9
+_MIX3 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of(blue: int, computed: int, n: int, seed: int, shards: int) -> int:
+    """Owning shard of a state: a splitmix-style mix of its dominance
+    bucket key ``(blue << n) | computed`` (never the red mask, so that
+    dominance-bucket mates always colocate)."""
+    if shards == 1:
+        return 0
+    x = (((blue << n) | computed) * _MIX1 + seed * _MIX2) & _MASK64
+    x ^= x >> 31
+    x = (x * _MIX3) & _MASK64
+    x ^= x >> 29
+    return x % shards
+
+
+class _Stop(Exception):
+    """Internal: parent asked the worker to abandon the current solve."""
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+
+
+def _shard_worker_loop(conn) -> None:  # pragma: no cover - runs in subprocesses
+    """Outer worker loop: one ``solve`` message per search, then back to
+    waiting — workers stay warm across solves."""
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                break
+            if msg[0] != "solve":
+                continue
+            try:
+                _shard_search(conn, msg[1], msg[2])
+            except _Stop:
+                pass
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _shard_search(conn, instance: PebblingInstance, cfg: dict) -> None:
+    """One shard of one search; communicates only through ``conn``."""
+    ex = kernel.Expander(instance)
+    n = ex.n
+    shards: int = cfg["shards"]
+    me: int = cfg["shard"]
+    seed: int = cfg["seed"]
+    chunk: int = cfg["chunk"]
+    heuristic = cfg["heuristic"]
+    fault: Optional[Tuple[int, int]] = cfg["fault"]
+    h = kernel._compile_heuristic(ex, heuristic) if heuristic else None
+    tt = kernel.DominanceTable(n)
+    use_dom = cfg["dominance"] and ex.dominance_safe
+
+    open_heap: List[Tuple[int, int, int, int]] = []  # (f, seq, g, key)
+    seq = itertools.count()
+    best_g: Dict[int, int] = {}
+    expanded_at: Dict[int, int] = {}
+    parents: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+    buffers: List[list] = [[] for _ in range(shards)]
+    incumbent: Optional[int] = None
+    received = 0
+    expanded = 0
+    generated = 0
+
+    def push_local(key: int, g: int, pkey, code) -> None:
+        old = best_g.get(key)
+        if old is not None and g >= old:
+            return
+        best_g[key] = g
+        parents[key] = (pkey, code)
+        if h is None:
+            f = g
+        else:
+            r, b, c = ex.unpack_key(key)
+            f = g + h(r, b, c)
+        heapq.heappush(open_heap, (f, next(seq), g, key))
+
+    def active() -> bool:
+        """Any open entry that could still beat the incumbent?"""
+        while open_heap:
+            f, _, g, key = open_heap[0]
+            if incumbent is not None and f >= incumbent:
+                open_heap.clear()
+                return False
+            if g > best_g[key]:
+                heapq.heappop(open_heap)  # stale copy
+                continue
+            done = expanded_at.get(key)
+            if done is not None and done <= g:
+                heapq.heappop(open_heap)
+                continue
+            return True
+        return False
+
+    def handle(msg) -> None:
+        nonlocal incumbent, received
+        tag = msg[0]
+        if tag == "push":
+            records = msg[1]
+            received += len(records)
+            for key, g, pkey, code in records:
+                push_local(key, g, pkey, code)
+        elif tag == "bound":
+            if incumbent is None or msg[1] < incumbent:
+                incumbent = msg[1]
+        elif tag == "ping":
+            conn.send(("status", msg[1], expanded, generated, received, active()))
+        elif tag == "trace":
+            conn.send(("parent", parents.get(msg[1])))
+        elif tag == "stop":
+            raise _Stop()
+
+    while True:
+        while conn.poll():
+            handle(conn.recv())
+
+        did = 0
+        while open_heap and did < chunk:
+            f, _, g, key = heapq.heappop(open_heap)
+            if incumbent is not None and f >= incumbent:
+                open_heap.clear()  # heap min >= incumbent: nothing useful left
+                break
+            if g > best_g[key]:
+                continue  # superseded by a cheaper route
+            done = expanded_at.get(key)
+            if done is not None and done <= g:
+                continue  # already expanded at this g or better
+            red, blue, computed = ex.unpack_key(key)
+            if ex.is_goal(red, blue):
+                incumbent = g
+                conn.send(("incumbent", g, key))
+                continue
+            if use_dom and not tt.admit(red, blue, computed, g):
+                continue
+            expanded_at[key] = g
+            expanded += 1
+            did += 1
+            if fault is not None and me == fault[0] and expanded >= fault[1]:
+                os._exit(1)  # test hook: simulated mid-search crash
+            for nred, nblue, ncomp, cost, code in ex.successors(red, blue, computed):
+                ng = g + cost
+                if incumbent is not None and ng >= incumbent:
+                    continue  # admissible h >= 0: cannot beat the incumbent
+                generated += 1
+                dest = shard_of(nblue, ncomp, n, seed, shards)
+                if dest == me:
+                    push_local(ex.pack_key(nred, nblue, ncomp), ng, key, code)
+                else:
+                    buffers[dest].append(
+                        (ex.pack_key(nred, nblue, ncomp), ng, key, code)
+                    )
+
+        for dest in range(shards):
+            if buffers[dest]:
+                conn.send(("route", dest, buffers[dest]))
+                buffers[dest] = []
+
+        if not open_heap:
+            conn.poll(0.005)  # idle: block briefly instead of spinning
+
+
+# --------------------------------------------------------------------- #
+# persistent shard pool
+# --------------------------------------------------------------------- #
+
+
+class _ShardPool:
+    """``jobs`` persistent shard workers, reusable across solves."""
+
+    def __init__(self, jobs: int):
+        from ..experiments.backends import spawn_pipe_worker
+
+        self.jobs = jobs
+        self._ctx = multiprocessing.get_context()
+        self.workers = [
+            spawn_pipe_worker(self._ctx, _shard_worker_loop) for _ in range(jobs)
+        ]
+
+    def revive(self) -> None:
+        """Replace dead workers, drain stale messages from live ones."""
+        from ..experiments.backends import retire_pipe_worker, spawn_pipe_worker
+
+        for i, w in enumerate(self.workers):
+            if not w.process.is_alive():
+                retire_pipe_worker(w)
+                self.workers[i] = spawn_pipe_worker(self._ctx, _shard_worker_loop)
+            else:
+                try:
+                    while w.conn.poll():
+                        w.conn.recv()
+                except (EOFError, OSError):
+                    retire_pipe_worker(w)
+                    self.workers[i] = spawn_pipe_worker(
+                        self._ctx, _shard_worker_loop
+                    )
+
+    def close(self) -> None:
+        from ..experiments.backends import retire_pipe_worker
+
+        for w in self.workers:
+            try:
+                w.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for w in self.workers:
+            retire_pipe_worker(w)
+        self.workers = []
+
+
+_POOLS: Dict[int, _ShardPool] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _forget_pools() -> None:  # pragma: no cover - runs in forked children
+    """Drop inherited pool references in a forked child.
+
+    The worker processes belong to the forking parent: the child must
+    neither message them (both would read one pipe) nor terminate them,
+    so the references are abandoned, not closed.
+    """
+    with _POOL_LOCK:
+        _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_forget_pools)
+
+
+def _acquire_pool(jobs: int) -> _ShardPool:
+    with _POOL_LOCK:
+        pool = _POOLS.pop(jobs, None)
+    if pool is None:
+        return _ShardPool(jobs)
+    pool.revive()
+    return pool
+
+
+def _release_pool(pool: _ShardPool, *, reusable: bool) -> None:
+    if not reusable:
+        pool.close()
+        return
+    with _POOL_LOCK:
+        if pool.jobs in _POOLS:
+            extra = pool  # another thread repopulated the slot first
+        else:
+            _POOLS[pool.jobs] = pool
+            extra = None
+    if extra is not None:
+        extra.close()
+
+
+def _close_all_pools() -> None:  # pragma: no cover - interpreter shutdown
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(_close_all_pools)
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+
+
+def solve_optimal_parallel(
+    instance: PebblingInstance,
+    *,
+    jobs: int = 2,
+    budget: int = 2_000_000,
+    return_schedule: bool = True,
+    heuristic=None,
+    shard_seed: int = 0,
+    dominance: bool = True,
+    chunk: int = 512,
+    inject_fault: Optional[Tuple[int, int]] = None,
+):
+    """Exact optimal pebbling via HDA*-style sharded parallel search.
+
+    Same contract as :func:`repro.solvers.exact.solve_optimal` with
+    ``engine="bits"`` — identical optimum, independently auditable
+    schedule, aggregate ``expanded``/``generated`` counters (comparable,
+    not identical, across engines) — computed by ``jobs`` worker
+    processes with hash-partitioned open lists.
+
+    Parameters beyond the shared ones:
+
+    shard_seed:
+        Mixed into the state-to-shard hash.  Different seeds give
+        different partitions (and different per-shard statistics) but
+        must never change the returned cost — the seeded-shuffle test
+        pins this.
+    chunk:
+        Expansions a worker performs between message-drain points.
+    inject_fault:
+        Test hook ``(shard, after)``: that shard hard-exits after its
+        ``after``-th expansion, exercising crash detection end to end.
+
+    Raises
+    ------
+    SolverError
+        If a worker dies mid-search (crash isolation: a dead worker is
+        an error, never a silently wrong optimum), or the search space
+        is exhausted without a complete state.
+    BudgetExceededError
+        When aggregate expansions across workers exceed ``budget``.
+    """
+    from .exact import OptimalResult
+
+    if jobs < 1:
+        raise ValueError(f"parallel solver needs jobs >= 1, got {jobs}")
+    ex = kernel.Expander(instance)
+    if ex.sink_mask == 0:  # empty DAG (or no sinks): already complete
+        return OptimalResult(
+            Fraction(0), Schedule() if return_schedule else None, 0, 0
+        )
+
+    pool = _acquire_pool(jobs)
+    reusable = True
+    try:
+        result = _drive_search(
+            pool, ex, instance,
+            budget=budget,
+            return_schedule=return_schedule,
+            heuristic=heuristic,
+            shard_seed=shard_seed,
+            dominance=dominance,
+            chunk=chunk,
+            inject_fault=inject_fault,
+        )
+    except BaseException:
+        # workers may be mid-search holding unread state: tell the live
+        # ones to abandon; anything unresponsive is replaced on revive
+        for w in pool.workers:
+            try:
+                w.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                reusable = False
+        raise
+    finally:
+        _release_pool(pool, reusable=reusable)
+    return result
+
+
+def _drive_search(
+    pool: _ShardPool,
+    ex: "kernel.Expander",
+    instance: PebblingInstance,
+    *,
+    budget: int,
+    return_schedule: bool,
+    heuristic,
+    shard_seed: int,
+    dominance: bool,
+    chunk: int,
+    inject_fault,
+):
+    from .exact import OptimalResult
+
+    jobs = pool.jobs
+    workers = pool.workers
+    n = ex.n
+    cfg = {
+        "shards": jobs,
+        "seed": shard_seed,
+        "heuristic": heuristic,
+        "dominance": dominance,
+        "chunk": chunk,
+        "fault": None,
+    }
+    for i, w in enumerate(workers):
+        wcfg = dict(cfg, shard=i)
+        if inject_fault is not None and inject_fault[0] == i:
+            wcfg["fault"] = tuple(inject_fault)
+        w.conn.send(("solve", instance, wcfg))
+
+    forwarded = [0] * jobs
+    version = 0
+    statuses: Dict[int, tuple] = {}  # shard -> (version, exp, gen, recv, active)
+    incumbent: Optional[int] = None
+    incumbent_key: Optional[int] = None
+    start_key = ex.pack_key(0, 0, 0)
+
+    start_shard = shard_of(0, 0, n, shard_seed, jobs)
+    workers[start_shard].conn.send(("push", [(start_key, 0, None, None)]))
+    forwarded[start_shard] += 1
+    version += 1
+
+    def worker_died(i: int) -> SolverError:
+        return SolverError(
+            f"parallel A* worker (shard {i}/{jobs}) died mid-search; "
+            f"no result can be trusted without its open list"
+        )
+
+    last_ping = 0.0
+    while True:
+        for i, w in enumerate(workers):
+            try:
+                while w.conn.poll():
+                    msg = w.conn.recv()
+                    tag = msg[0]
+                    if tag == "route":
+                        dest, records = msg[1], msg[2]
+                        if incumbent is not None:
+                            records = [r for r in records if r[1] < incumbent]
+                        if records:
+                            workers[dest].conn.send(("push", records))
+                            forwarded[dest] += len(records)
+                            version += 1
+                    elif tag == "incumbent":
+                        if incumbent is None or msg[1] < incumbent:
+                            incumbent, incumbent_key = msg[1], msg[2]
+                            for other in workers:
+                                other.conn.send(("bound", incumbent))
+                    elif tag == "status":
+                        statuses[i] = msg[1:]
+                    elif tag == "error":
+                        raise SolverError(
+                            "parallel A* worker failed:\n" + msg[1]
+                        )
+            except (EOFError, OSError):
+                raise worker_died(i) from None
+            if not w.process.is_alive():
+                # drain above saw nothing and the process is gone
+                try:
+                    if not w.conn.poll():
+                        raise worker_died(i)
+                except (EOFError, OSError):
+                    raise worker_died(i) from None
+
+        if statuses:
+            total_expanded = sum(s[1] for s in statuses.values())
+            if total_expanded > budget:
+                raise BudgetExceededError(budget)
+
+        if (
+            len(statuses) == jobs
+            and all(s[0] == version for s in statuses.values())
+            and all(not s[4] for s in statuses.values())
+            and all(statuses[i][3] == forwarded[i] for i in range(jobs))
+        ):
+            break  # quiescent: nothing open below the incumbent, nothing in flight
+
+        now = time.monotonic()
+        if now - last_ping >= 0.005:
+            for i, w in enumerate(workers):
+                try:
+                    w.conn.send(("ping", version))
+                except (OSError, BrokenPipeError):
+                    raise worker_died(i) from None
+            last_ping = now
+        time.sleep(0.0005)
+
+    expanded = sum(s[1] for s in statuses.values())
+    generated = sum(s[2] for s in statuses.values())
+
+    if incumbent is None:
+        raise SolverError(
+            "search space exhausted without reaching a complete state "
+            "(this should be impossible for a feasible instance)"
+        )
+
+    schedule = None
+    if return_schedule:
+        codes = _trace_schedule(
+            workers, ex, incumbent_key, start_key, shard_seed, jobs
+        )
+        schedule = kernel.moves_to_schedule(ex.decode_moves(codes))
+
+    for w in workers:
+        w.conn.send(("stop",))
+    return OptimalResult(ex.unscale(incumbent), schedule, expanded, generated)
+
+
+def _trace_schedule(workers, ex, goal_key, start_key, shard_seed, jobs):
+    """Walk the distributed parent chain back from the goal."""
+    codes: List[int] = []
+    key = goal_key
+    n = ex.n
+    guard = 0
+    while key != start_key:
+        guard += 1
+        if guard > 5_000_000:
+            raise SolverError("parent chain did not terminate (cycle?)")
+        _, blue, computed = ex.unpack_key(key)
+        owner = shard_of(blue, computed, n, shard_seed, jobs)
+        conn = workers[owner].conn
+        try:
+            conn.send(("trace", key))
+            while True:
+                msg = conn.recv()
+                if msg[0] == "parent":
+                    entry = msg[1]
+                    break
+                # late status/route stragglers are harmless here: the
+                # search is quiescent, so they carry no new work
+        except (EOFError, OSError):
+            raise SolverError(
+                f"parallel A* worker (shard {owner}/{jobs}) died during "
+                f"schedule reconstruction"
+            ) from None
+        if entry is None:
+            raise SolverError(
+                "broken parent chain during parallel schedule reconstruction"
+            )
+        key, code = entry
+        codes.append(code)
+    codes.reverse()
+    return codes

@@ -19,6 +19,13 @@ Two kinds of tests live here:
   1.5x sanity floor instead — low enough that best-of-3 timing jitter
   cannot abort the suite, high enough to catch "kernel slower than the
   legacy solver" regressions.
+* ``test_numpy_batch_speedup_over_bits``, the same shape of gate for the
+  batched numpy frontier engine: on a frontier large enough to amortize
+  per-batch overhead (pyramid:4 under oneshot), ``engine="numpy"`` must
+  sustain at least 3x the scalar bitmask kernel's expansions/sec.  On
+  small frontiers the batch engine is *slower* than the scalar kernel
+  (per-batch numpy overhead dominates), which is why the gate pins a
+  large instance; the crossover is documented in docs/architecture.md.
 """
 
 import time
@@ -127,4 +134,41 @@ def test_bitmask_kernel_speedup_over_legacy(benchmark, pyramid_instance):
     assert speedup >= threshold, (
         f"bitmask kernel regressed: only {speedup:.2f}x the legacy "
         f"expansion rate (ISSUE 2 requires >= 5x, sanity floor {threshold}x)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# the batched-frontier gate: numpy engine >= 3x bits on a large frontier
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def large_pyramid_instance():
+    # pyramid:4 / oneshot / R4: ~500k expansions for the scalar kernel,
+    # big equal-f buckets for the Dial queue -> wide batches.
+    return PebblingInstance(dag=pyramid_dag(4), model="oneshot", red_limit=4)
+
+
+def test_numpy_batch_speedup_over_bits(benchmark, large_pyramid_instance):
+    inst = large_pyramid_instance
+    numpy_rate, numpy_result = _expansion_rate(
+        lambda i, **kw: solve_optimal(i, engine="numpy", **kw), inst, repeats=2
+    )
+    bits_rate, bits_result = _expansion_rate(solve_optimal, inst, repeats=2)
+    assert numpy_result.cost == bits_result.cost == 4
+    speedup = numpy_rate / bits_rate
+    print(
+        f"\nexpansions/sec: numpy {numpy_rate:,.0f} "
+        f"vs bits {bits_rate:,.0f} -> {speedup:.1f}x"
+    )
+    benchmark.extra_info["numpy_expansions_per_sec"] = round(numpy_rate)
+    benchmark.extra_info["bits_expansions_per_sec"] = round(bits_rate)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark(
+        solve_optimal, inst, engine="numpy", return_schedule=False
+    )
+    threshold = 3.0 if benchmark.enabled else 1.5
+    assert speedup >= threshold, (
+        f"batched numpy engine regressed: only {speedup:.2f}x the scalar "
+        f"kernel expansion rate (target >= 3x, sanity floor {threshold}x)"
     )

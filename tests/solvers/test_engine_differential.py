@@ -1,0 +1,151 @@
+"""Differential harness: every search engine against ``engine="bits"``.
+
+The bitmask kernel is the calibrated reference (itself pinned to the
+legacy frozenset solver and the golden optima).  Each engine listed in
+``ENGINES`` is locked to it on
+
+* the exact optimum cost (compared as exact ``Fraction`` values),
+* schedule validity (the returned schedule must replay through the
+  independent :func:`repro.validate_schedule` auditor at the same cost),
+* expansion-count sanity (engines order work differently, so counters
+  are *comparable*, not identical: each must stay within a loose
+  multiplicative band of the reference),
+
+over hypothesis-generated random DAGs x models x red limits plus the
+hardness-gadget zoo.  A future engine gets the whole battery by adding
+its ``engine=`` string to ``ENGINES``.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import ComputationDAG, PebblingInstance, validate_schedule
+from repro.gadgets import h2c_dag
+from repro.generators import dag_from_spec
+from repro.solvers import solve_optimal
+
+MODELS = ("base", "oneshot", "nodel", "compcost")
+
+#: engines under differential test; the reference "bits" engine is
+#: implicit.  Add one id here to give a new engine full coverage.
+ENGINES = ("legacy", "numpy", "par:2")
+
+#: the batch/parallel engines amortize over large frontiers and the
+#: reference runs twice per example, so the example budget is modest;
+#: the gadget zoo below covers the structured cases deterministically.
+DIFF_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: how far an engine's expanded/generated counters may drift from the
+#: reference before we call it a bug (batching changes pop order and
+#: dominance timing, but not by orders of magnitude)
+COUNTER_BAND = 100
+
+
+def _h2c(r):
+    dag, _ = h2c_dag(r)
+    return dag
+
+
+#: the hardness-gadget zoo: reduction DAGs and classic instances, all
+#: small enough for every engine inside tier-1 time
+GADGETS = [
+    ("pyramid:3", "base", 3),
+    ("pyramid:3", "compcost", 3),
+    ("grid:3x3", "oneshot", 3),
+    ("butterfly:2", "nodel", 3),
+    ("chain:8", "base", 2),
+    ("tree:4", "oneshot", 3),
+    ("tradeoff:2x4", "nodel", 4),
+    ("h2c:4", "base", 4),
+]
+
+
+def _gadget_instance(spec: str, model: str, red_limit: int) -> PebblingInstance:
+    if spec.startswith("h2c:"):
+        dag = _h2c(int(spec.split(":")[1]))
+    else:
+        dag = dag_from_spec(spec)
+    return PebblingInstance(dag=dag, model=model, red_limit=red_limit)
+
+
+@st.composite
+def instances(draw):
+    """A random small pebbling instance (every model, feasible R)."""
+    n = draw(st.integers(min_value=1, max_value=7))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = []
+    indeg = [0] * n
+    for (u, v) in pairs:
+        if indeg[v] < 3 and draw(st.booleans()):
+            chosen.append((u, v))
+            indeg[v] += 1
+    dag = ComputationDAG(edges=chosen, nodes=range(n))
+    model = draw(st.sampled_from(MODELS))
+    red_limit = dag.max_indegree + 1 + draw(st.integers(min_value=0, max_value=2))
+    return PebblingInstance(dag=dag, model=model, red_limit=red_limit)
+
+
+def assert_engine_matches(engine: str, inst: PebblingInstance,
+                          budget: int = 300_000) -> None:
+    """The whole differential contract for one (engine, instance) pair."""
+    reference = solve_optimal(inst, budget=budget, engine="bits")
+    result = solve_optimal(inst, budget=budget, engine=engine)
+
+    # 1. exact optimum agreement
+    assert result.cost == reference.cost, (
+        f"{engine} disagrees with bits: {result.cost} != {reference.cost}"
+    )
+
+    # 2. independently auditable schedule at exactly the optimal cost
+    assert result.schedule is not None
+    report = validate_schedule(inst, result.schedule)
+    assert report.ok, report.violations[:3]
+    assert report.cost == result.cost
+
+    # 3. counter sanity: same order of magnitude of work
+    assert result.expanded <= COUNTER_BAND * reference.expanded + COUNTER_BAND
+    assert reference.expanded <= COUNTER_BAND * result.expanded + COUNTER_BAND
+    assert result.generated >= result.expanded - 1  # every pop was generated
+    if reference.cost > 0:
+        assert result.expanded >= 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEngineDifferential:
+    @settings(**DIFF_SETTINGS)
+    @given(inst=instances())
+    def test_random_instances(self, engine, inst):
+        assert_engine_matches(engine, inst)
+
+    @pytest.mark.parametrize(
+        "spec,model,red_limit", GADGETS,
+        ids=[f"{s}-{m}-r{r}" for s, m, r in GADGETS],
+    )
+    def test_gadget_zoo(self, engine, spec, model, red_limit):
+        assert_engine_matches(engine, _gadget_instance(spec, model, red_limit))
+
+
+def test_engines_list_is_nonempty_and_excludes_reference():
+    """Guard the harness itself: bits must stay the implicit reference."""
+    assert ENGINES
+    assert "bits" not in ENGINES
+
+
+def test_unknown_engine_raises_with_catalogue():
+    inst = _gadget_instance("pyramid:3", "base", 3)
+    with pytest.raises(ValueError, match=r"unknown engine 'typo'.*bits.*legacy.*numpy.*par"):
+        solve_optimal(inst, engine="typo")
+
+
+def test_zero_cost_optimum_agrees_across_engines():
+    """Zero-cost schedules (free computes) exercise the Dial zero-bucket
+    refill and the parallel incumbent-at-zero path."""
+    inst = _gadget_instance("chain:8", "base", 2)
+    costs = {e: solve_optimal(inst, engine=e).cost for e in ENGINES}
+    assert set(costs.values()) == {Fraction(0)}

@@ -1,0 +1,161 @@
+"""Determinism and robustness of the HDA*-style parallel exact solver.
+
+The parallel engine's contract is: same optimum as the reference for
+any worker count or shard assignment, and a *loud* failure — never a
+silently wrong answer — when a worker dies mid-search.  These tests pin
+both halves, plus the pool plumbing (reuse across solves, recovery
+after a crash, nesting inside experiment-backend worker processes).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import PebblingInstance, validate_schedule
+from repro.core.errors import BudgetExceededError, SolverError
+from repro.generators import dag_from_spec
+from repro.solvers import solve_optimal
+from repro.solvers.parallel import shard_of, solve_optimal_parallel
+
+
+def _inst(spec="pyramid:3", model="base", red=3):
+    return PebblingInstance(dag=dag_from_spec(spec), model=model, red_limit=red)
+
+
+# --------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("model,expected", [
+    ("base", "6"),
+    ("oneshot", "6"),
+    ("nodel", "13"),
+])
+def test_same_optimum_across_worker_counts(model, expected):
+    """--jobs 1/2/4 must return the identical exact optimum."""
+    inst = _inst(model=model)
+    costs = {}
+    for jobs in (1, 2, 4):
+        result = solve_optimal_parallel(inst, jobs=jobs)
+        costs[jobs] = result.cost
+        report = validate_schedule(inst, result.schedule)
+        assert report.ok, report.violations[:3]
+        assert report.cost == result.cost
+    assert costs == {1: Fraction(expected), 2: Fraction(expected), 4: Fraction(expected)}
+
+
+def test_shard_seed_changes_partition_but_not_result():
+    """Seeded shuffle: shard assignment is seed-dependent, results aren't."""
+    inst = _inst()
+    n = inst.dag.n_nodes
+    # the partition itself must actually move with the seed...
+    keys = [(b, c) for b in range(8) for c in range(8)]
+    assignments = {
+        seed: [shard_of(b, c, n, seed, 4) for b, c in keys] for seed in (0, 1, 2)
+    }
+    assert assignments[0] != assignments[1] or assignments[1] != assignments[2]
+    # ...while every seed returns the same exact optimum
+    costs = {
+        solve_optimal_parallel(inst, jobs=3, shard_seed=seed).cost
+        for seed in (0, 1, 2)
+    }
+    assert costs == {Fraction(6)}
+
+
+def test_shard_of_never_uses_red():
+    """Dominance safety: bucket-mates (same blue/computed) must colocate,
+    so the shard function cannot depend on the red mask at all."""
+    import inspect
+
+    assert "red" not in inspect.signature(shard_of).parameters
+
+
+def test_parallel_agrees_with_bits_on_zero_cost_optimum():
+    inst = _inst("chain:8", "base", 2)
+    assert solve_optimal_parallel(inst, jobs=2).cost == Fraction(0)
+
+
+# --------------------------------------------------------------------- #
+# robustness
+# --------------------------------------------------------------------- #
+
+
+def test_worker_crash_surfaces_as_clean_error():
+    """A shard dying mid-search is a SolverError, never a wrong answer."""
+    inst = _inst()
+    with pytest.raises(SolverError, match="died"):
+        solve_optimal_parallel(inst, jobs=2, inject_fault=(0, 20))
+
+
+@pytest.mark.parametrize("crash_shard", [0, 1])
+def test_pool_recovers_after_crash(crash_shard):
+    """The persistent pool replaces dead workers: the next solve works."""
+    inst = _inst()
+    with pytest.raises(SolverError):
+        solve_optimal_parallel(inst, jobs=2, inject_fault=(crash_shard, 10))
+    assert solve_optimal_parallel(inst, jobs=2).cost == Fraction(6)
+
+
+def test_pool_is_reused_across_solves():
+    """Two clean solves back to back reuse the same worker processes."""
+    from repro.solvers import parallel as par
+
+    inst = _inst()
+    solve_optimal_parallel(inst, jobs=2)
+    pool = par._POOLS.get(2)
+    assert pool is not None
+    pids = [w.process.pid for w in pool.workers]
+    solve_optimal_parallel(inst, jobs=2)
+    assert [w.process.pid for w in par._POOLS[2].workers] == pids
+
+
+def test_budget_is_aggregated_across_workers():
+    inst = _inst()
+    with pytest.raises(BudgetExceededError):
+        solve_optimal_parallel(inst, jobs=2, budget=50)
+
+
+def test_jobs_validation():
+    with pytest.raises(ValueError, match="jobs >= 1"):
+        solve_optimal_parallel(_inst(), jobs=0)
+
+
+def test_malformed_engine_string():
+    with pytest.raises(ValueError, match="malformed parallel engine"):
+        solve_optimal(_inst(), engine="par:two")
+
+
+# --------------------------------------------------------------------- #
+# integration: engine dispatch, methods, nested processes
+# --------------------------------------------------------------------- #
+
+
+def test_engine_dispatch_par_default_and_explicit():
+    inst = _inst()
+    assert solve_optimal(inst, engine="par").cost == Fraction(6)
+    assert solve_optimal(inst, engine="par:3").cost == Fraction(6)
+
+
+def test_exact_par_method_resolves_and_validates():
+    from repro.experiments.methods import resolve_method
+
+    assert resolve_method("exact:par") is not None
+    assert resolve_method("exact:par:2") is not None
+    with pytest.raises(ValueError, match="positive integer"):
+        resolve_method("exact:par:zero")
+
+
+def test_exact_par_runs_inside_backend_workers():
+    """The service layer runs methods in daemonic pool workers; exact:par
+    must still be able to spawn its shard processes there."""
+    from repro.experiments.backends import MultiprocessingBackend
+    from repro.experiments.spec import TaskSpec
+
+    task = TaskSpec(
+        spec="t", dag="pyramid:3", model="base", red_limit=3, method="exact:par:2"
+    )
+    with MultiprocessingBackend(jobs=1) as backend:
+        [(_, result)] = backend.run_tasks([(0, task)])
+    assert result.status.value == "ok"
+    assert Fraction(result.cost) == Fraction(6)

@@ -28,7 +28,7 @@ def render_table(
         for c in cols:
             widths[c] = max(widths[c], len(str(row.get(c, ""))))
 
-    def line(values):
+    def line(values: Iterable[object]) -> str:
         return " | ".join(str(v).ljust(widths[c]) for c, v in zip(cols, values))
 
     out = []

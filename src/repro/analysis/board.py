@@ -14,12 +14,14 @@ serves as a visual legality check.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Iterable, List, Optional, Sequence
 
 from ..core.dag import Node
 from ..core.instance import PebblingInstance
 from ..core.moves import Move
 from ..core.simulator import PebblingSimulator
+from ..core.state import PebblingState
 
 __all__ = ["render_timeline"]
 
@@ -57,7 +59,7 @@ def render_timeline(
     move_col = min(max(move_col, 4), 18)
     lines.append(" " * (move_col + 3) + " ".join(cell(s) for s in header_labels))
 
-    def board_line(move, state, cost) -> str:
+    def board_line(move: Move, state: PebblingState, cost: Fraction) -> str:
         glyphs = []
         for v in columns:
             if v in state.red:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Tuple
 
 from ..core.instance import PebblingInstance
 from ..core.simulator import PebblingSimulator
@@ -49,13 +49,13 @@ def greedy_vs_optimal(
 
 
 def greedy_grid_ratio_sweep(
-    sizes: Iterable[tuple],
+    sizes: Iterable[Tuple[int, int]],
 ) -> List[RatioPoint]:
     """The Theorem 4 experiment: for each (l, k_common) build the grid,
     run the group-level greedy and the optimal diagonal sweep, and record
     the cost ratio.  The ratio grows with the instance (the paper's
     Theta~(n) law at k' = Theta~(n / l))."""
-    points = []
+    points: List[RatioPoint] = []
     for l, k_common in sizes:
         c = greedy_grid_construction(l, k_common)
         sched, _ = grid_group_greedy(c)

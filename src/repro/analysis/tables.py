@@ -21,9 +21,9 @@ from ..solvers.bounds import trivial_lower_bound, upper_bound_naive
 __all__ = ["table1_rows", "table2_rows"]
 
 
-def table1_rows(epsilon=None) -> List[Dict[str, str]]:
+def table1_rows(epsilon: Optional[Fraction] = None) -> List[Dict[str, str]]:
     """The four rows of Table 1, from the cost models themselves."""
-    rows = []
+    rows: List[Dict[str, str]] = []
     for model in ALL_MODELS:
         kwargs = {"epsilon": epsilon} if (epsilon is not None and model is Model.COMPCOST) else {}
         rows.append(cost_model_for(model, **kwargs).table1_row())

@@ -27,7 +27,7 @@ class TradeoffCurve:
 
     points: Tuple[Tuple[int, Fraction], ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         rs = [r for r, _ in self.points]
         if rs != sorted(rs) or len(set(rs)) != len(rs):
             raise ValueError("points must be sorted by strictly increasing R")

@@ -13,6 +13,7 @@ table2     print Table 2 (model properties)
 bench      experiment runner: list/run/compare declarative specs
 serve      pebbling-as-a-service: long-running async HTTP/JSON API
 query      client for a running server (one cell per call)
+check      repo-aware static analysis (invariant linter, CI gate)
 
 Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
 ``grid:RxC``, ``butterfly:K``, ``matmul:N``, ``tasks:WxC``,
@@ -63,7 +64,7 @@ def _load_dag(spec: str) -> ComputationDAG:
     try:
         return dag_from_spec(spec)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
 
 
 def _instance(args) -> PebblingInstance:
@@ -216,7 +217,7 @@ def cmd_bench_run(args) -> int:
     try:
         specs = [get_spec(name) for name in args.spec]
     except KeyError as exc:
-        raise SystemExit(exc.args[0])
+        raise SystemExit(exc.args[0]) from None
 
     runner = Runner(
         jobs=args.jobs,
@@ -300,14 +301,14 @@ def cmd_bench_compare(args) -> int:
     try:
         baseline = _load_results(args.baseline)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"cannot read {args.baseline}: {exc}")
+        raise SystemExit(f"cannot read {args.baseline}: {exc}") from None
     if args.candidate is None:
         print(render_table(results_table(baseline), title=args.baseline))
         return 0
     try:
         candidate = _load_results(args.candidate)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"cannot read {args.candidate}: {exc}")
+        raise SystemExit(f"cannot read {args.candidate}: {exc}") from None
     rows = compare_results(
         baseline, candidate, labels=(args.baseline, args.candidate)
     )
@@ -366,10 +367,10 @@ def cmd_query(args) -> int:
         try:
             result = client.query(payload)
         except ServiceError as exc:
-            raise SystemExit(str(exc))
+            raise SystemExit(str(exc)) from None
         except ConnectionError as exc:
             raise SystemExit(f"cannot reach {args.url}: {exc} "
-                             f"(is `repro-pebble serve` running?)")
+                             f"(is `repro-pebble serve` running?)") from None
     if args.json:
         import json as _json
 
@@ -388,6 +389,32 @@ def cmd_query(args) -> int:
         print(f"error   : {result['error']}")
     print(f"wall    : {result.get('wall_time', 0):.4f}s")
     return 0 if status in ("ok", "infeasible") else 1
+
+
+def cmd_check(args) -> int:
+    from pathlib import Path
+
+    from . import devtools
+
+    if args.list_rules:
+        for r in devtools.all_rules():
+            fix = " [autofixable]" if r.autofixable else ""
+            print(f"{r.id}  {r.name} ({r.scope}, {r.severity}){fix}")
+            print(f"       {r.description}")
+        return 0
+    try:
+        rules = devtools.select_rules(
+            select=args.select or None, ignore=args.ignore or None
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    index = devtools.RepoIndex(Path(args.root))
+    findings = devtools.run_check(index, rules=rules)
+    render = (
+        devtools.render_json if args.format == "json" else devtools.render_text
+    )
+    print(render(findings, checked_rules=rules))
+    return 1 if findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -508,6 +535,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request seconds (server default otherwise)")
     p.add_argument("--json", action="store_true", help="print the raw JSON record")
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "check",
+        help="repo-aware static analysis (see docs/static-analysis.md)",
+    )
+    p.add_argument("--root", default=".",
+                   help="repository root to analyze (default: cwd)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", action="append", metavar="RULE",
+                   help="run only these rule ids (repeatable)")
+    p.add_argument("--ignore", action="append", metavar="RULE",
+                   help="skip these rule ids (repeatable)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(fn=cmd_check)
 
     return parser
 

@@ -36,7 +36,7 @@ profile and the one production callers get by default.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, NamedTuple, Tuple
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, Iterator, List, NamedTuple, Tuple
 
 from .dag import ComputationDAG, Node
 from .errors import (
@@ -48,6 +48,11 @@ from .errors import (
 from .models import CostModel
 from .moves import Compute, Delete, Load, Move, Store
 
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from .state import PebblingState
+
 __all__ = [
     "BitLayout",
     "BitState",
@@ -58,7 +63,7 @@ __all__ = [
 ]
 
 
-def _require_numpy():
+def _require_numpy() -> Any:
     """Import numpy lazily so :mod:`repro.core` works without it installed."""
     try:
         import numpy
@@ -146,7 +151,7 @@ class BitLayout:
         "_sink_closures",
     )
 
-    def __init__(self, dag: ComputationDAG):
+    def __init__(self, dag: ComputationDAG) -> None:
         self.dag = dag
         self.nodes: Tuple[Node, ...] = dag.topological_order()
         self.n = len(self.nodes)
@@ -183,7 +188,7 @@ class BitLayout:
         nodes = self.nodes
         return frozenset(nodes[i] for i in iter_bits(mask))
 
-    def encode_state(self, state) -> BitState:
+    def encode_state(self, state: PebblingState) -> BitState:
         """Encode a :class:`~repro.core.state.PebblingState`."""
         return BitState(
             self.encode_set(state.red),
@@ -191,7 +196,7 @@ class BitLayout:
             self.encode_set(state.computed),
         )
 
-    def decode_state(self, bits: BitState):
+    def decode_state(self, bits: BitState) -> PebblingState:
         """Decode back to a :class:`~repro.core.state.PebblingState`."""
         from .state import PebblingState
 
@@ -205,7 +210,7 @@ class BitLayout:
     # batched (numpy) conversion
     # ------------------------------------------------------------------ #
 
-    def encode_states(self, states: Iterable[BitState]):
+    def encode_states(self, states: Iterable[BitState]) -> np.ndarray:
         """Pack states into a ``(B, 3)`` uint64 array (red, blue, computed).
 
         This is the conversion boundary of the batched numpy engine
@@ -222,7 +227,7 @@ class BitLayout:
         rows = [(s.red, s.blue, s.computed) for s in states]
         return np.array(rows, dtype=np.uint64).reshape(len(rows), 3)
 
-    def decode_states(self, array) -> List[BitState]:
+    def decode_states(self, array: np.ndarray) -> List[BitState]:
         """Inverse of :meth:`encode_states` (rows back to :class:`BitState`)."""
         return [
             BitState(int(red), int(blue), int(computed))

@@ -16,6 +16,7 @@ cross-checks against networkx.
 from __future__ import annotations
 
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Hashable,
@@ -67,7 +68,7 @@ class ComputationDAG:
         self,
         edges: Iterable[Tuple[Node, Node]] = (),
         nodes: Iterable[Node] = (),
-    ):
+    ) -> None:
         preds: Dict[Node, List[Node]] = {}
         succs: Dict[Node, List[Node]] = {}
         seen_edges = set()
@@ -147,11 +148,11 @@ class ComputationDAG:
         return cls(edges=edges, nodes=preds.keys())
 
     @classmethod
-    def from_networkx(cls, graph) -> "ComputationDAG":
+    def from_networkx(cls, graph: Any) -> "ComputationDAG":
         """Build from a ``networkx.DiGraph``."""
         return cls(edges=graph.edges(), nodes=graph.nodes())
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export as a ``networkx.DiGraph`` (imported lazily)."""
         import networkx as nx
 

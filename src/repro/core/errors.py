@@ -8,6 +8,12 @@ state it was applied to, ...) to make solver debugging tractable.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dag import Node
+    from .moves import Move
+
 __all__ = [
     "PebblingError",
     "GraphError",
@@ -34,7 +40,7 @@ class GraphError(PebblingError):
 class CycleError(GraphError):
     """The supplied edge set contains a directed cycle, so it is not a DAG."""
 
-    def __init__(self, remaining: int):
+    def __init__(self, remaining: int) -> None:
         self.remaining = remaining
         super().__init__(
             f"graph is not acyclic: {remaining} node(s) remain after Kahn peeling"
@@ -54,7 +60,7 @@ class IllegalMoveError(PebblingError):
         Index of the move within the schedule, if executed as part of one.
     """
 
-    def __init__(self, move, reason: str, step: "int | None" = None):
+    def __init__(self, move: Move, reason: str, step: int | None = None) -> None:
         self.move = move
         self.reason = reason
         self.step = step
@@ -65,7 +71,7 @@ class IllegalMoveError(PebblingError):
 class CapacityExceededError(IllegalMoveError):
     """A move would place more than R red pebbles on the DAG."""
 
-    def __init__(self, move, red_limit: int, step: "int | None" = None):
+    def __init__(self, move: Move, red_limit: int, step: int | None = None) -> None:
         self.red_limit = red_limit
         super().__init__(move, f"red pebble limit R={red_limit} exceeded", step)
 
@@ -73,7 +79,7 @@ class CapacityExceededError(IllegalMoveError):
 class RecomputationError(IllegalMoveError):
     """A node was computed a second time in the oneshot model."""
 
-    def __init__(self, move, step: "int | None" = None):
+    def __init__(self, move: Move, step: int | None = None) -> None:
         super().__init__(
             move, "node was already computed once (oneshot forbids recomputation)", step
         )
@@ -82,14 +88,14 @@ class RecomputationError(IllegalMoveError):
 class DeletionForbiddenError(IllegalMoveError):
     """A delete was attempted in the nodel model."""
 
-    def __init__(self, move, step: "int | None" = None):
+    def __init__(self, move: Move, step: int | None = None) -> None:
         super().__init__(move, "deletions are forbidden in the nodel model", step)
 
 
 class IncompletePebblingError(PebblingError):
     """A schedule terminated without every sink holding a pebble."""
 
-    def __init__(self, missing):
+    def __init__(self, missing: Iterable[Node]) -> None:
         self.missing = tuple(missing)
         super().__init__(
             f"pebbling incomplete: {len(self.missing)} sink(s) unpebbled "
@@ -100,7 +106,7 @@ class IncompletePebblingError(PebblingError):
 class InfeasibleInstanceError(PebblingError):
     """The instance admits no valid pebbling at all (R < Delta + 1)."""
 
-    def __init__(self, red_limit: int, max_indegree: int):
+    def __init__(self, red_limit: int, max_indegree: int) -> None:
         self.red_limit = red_limit
         self.max_indegree = max_indegree
         super().__init__(
@@ -116,6 +122,6 @@ class SolverError(PebblingError):
 class BudgetExceededError(SolverError):
     """A solver exceeded a configured node/expansion budget before finishing."""
 
-    def __init__(self, budget: int, what: str = "state expansions"):
+    def __init__(self, budget: int, what: str = "state expansions") -> None:
         self.budget = budget
         super().__init__(f"solver budget exhausted after {budget} {what}")

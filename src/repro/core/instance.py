@@ -47,7 +47,7 @@ class PebblingInstance:
     epsilon: Fraction = DEFAULT_EPSILON
     costs: CostModel = field(init=False, compare=False, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         model = Model.parse(self.model)
         object.__setattr__(self, "model", model)
         if self.red_limit < self.dag.min_red_pebbles:

@@ -96,7 +96,7 @@ class CostModel:
     recompute_allowed: bool = True
     delete_allowed: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for name in ("load_cost", "store_cost", "compute_cost", "delete_cost"):
             value = getattr(self, name)
             if not isinstance(value, Fraction):

@@ -47,7 +47,7 @@ class Move:
     #: stable integer discriminator used for ordering and serialization.
     kind_id: int = -1
 
-    def __init__(self, node: Hashable):
+    def __init__(self, node: Hashable) -> None:
         self.node = node
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -56,7 +56,7 @@ class Move:
     def __str__(self) -> str:
         return f"{self.mnemonic}({self.node})"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.node == other.node
 
     def __hash__(self) -> int:

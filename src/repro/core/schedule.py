@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from .moves import Compute, Delete, Load, Move, Store
 
@@ -21,7 +21,7 @@ class CostBreakdown:
     __slots__ = ("loads", "stores", "computes", "deletes", "load_cost",
                  "store_cost", "compute_cost", "delete_cost")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.loads = 0
         self.stores = 0
         self.computes = 0
@@ -88,7 +88,7 @@ class Schedule:
 
     __slots__ = ("_moves",)
 
-    def __init__(self, moves: Iterable[Move] = ()):
+    def __init__(self, moves: Iterable[Move] = ()) -> None:
         self._moves: Tuple[Move, ...] = tuple(moves)
 
     @property
@@ -101,7 +101,7 @@ class Schedule:
     def __iter__(self) -> Iterator[Move]:
         return iter(self._moves)
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: "int | slice") -> "Move | Schedule":
         if isinstance(idx, slice):
             return Schedule(self._moves[idx])
         return self._moves[idx]
@@ -110,7 +110,7 @@ class Schedule:
         other_moves = other.moves if isinstance(other, Schedule) else tuple(other)
         return Schedule(self._moves + tuple(other_moves))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Schedule) and self._moves == other._moves
 
     def __hash__(self) -> int:
@@ -131,7 +131,7 @@ class Schedule:
         """Number of moves of a given class (e.g. ``schedule.count(Load)``)."""
         return sum(1 for m in self._moves if isinstance(m, kind))
 
-    def nodes_touched(self):
+    def nodes_touched(self) -> Set[Node]:
         """Set of nodes any move acts on."""
         return {m.node for m in self._moves}
 

@@ -75,7 +75,7 @@ class PebblingSimulator:
     incremental execution.
     """
 
-    def __init__(self, instance: PebblingInstance):
+    def __init__(self, instance: PebblingInstance) -> None:
         self.instance = instance
         self.dag: ComputationDAG = instance.dag
         self.costs = instance.costs

@@ -25,9 +25,12 @@ same triple.  The differential test-suite pins this agreement.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import FrozenSet, Iterator, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterator, Tuple
 
 from .dag import ComputationDAG, Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .bitstate import BitLayout, BitState
 from .errors import (
     CapacityExceededError,
     DeletionForbiddenError,
@@ -60,7 +63,7 @@ class PebblingState:
         red: FrozenSet[Node] = _EMPTY,
         blue: FrozenSet[Node] = _EMPTY,
         computed: FrozenSet[Node] = _EMPTY,
-    ):
+    ) -> None:
         self.red = frozenset(red)
         self.blue = frozenset(blue)
         self.computed = frozenset(computed)
@@ -102,18 +105,18 @@ class PebblingState:
     # bitmask conversion boundary
     # ------------------------------------------------------------------ #
 
-    def to_bits(self, layout):
+    def to_bits(self, layout: "BitLayout") -> "BitState":
         """Encode under a :class:`~repro.core.bitstate.BitLayout`."""
         return layout.encode_state(self)
 
     @classmethod
-    def from_bits(cls, layout, bits) -> "PebblingState":
+    def from_bits(cls, layout: "BitLayout", bits: "BitState") -> "PebblingState":
         """Decode a :class:`~repro.core.bitstate.BitState` back to sets."""
         return layout.decode_state(bits)
 
     # ------------------------------------------------------------------ #
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, PebblingState):
             return NotImplemented
         return (

@@ -1,0 +1,105 @@
+"""Repo-aware static analysis: ``repro-pebble check``.
+
+The engines in this repository are held together by *conventional*
+invariants — "shifts in packed-state modules stay inside the declared
+lane width", "every engine behind ``solve_optimal`` joins the
+differential battery", "nothing unpicklable crosses a pipe worker" —
+that a generic linter cannot know about.  This package machine-checks
+them, the same way the kernels are machine-checked by the differential
+and golden suites: a small AST-analysis framework (:mod:`.index`,
+:mod:`.rules`, :mod:`.report`) plus one module per repo-specific rule.
+
+Rule catalogue (details + examples in ``docs/static-analysis.md``):
+
+========  ===========================================================
+RP001     bit-width safety in packed-state modules (uint64 lanes)
+RP002     engine catalogue <-> differential/golden/docs sync
+RP003     pickling/fork safety of process entry points
+RP004     method/spec registries documented in docs/spec-grammar.md
+RP005     service error contract covers the documented status codes
+RP006     tier-1 test determinism (seeded randomness, no wall-clock
+          reads inside assertions)
+========  ===========================================================
+
+Entry points: :func:`run_check` (programmatic) and the ``check``
+subcommand of :mod:`repro.cli`.  A finding on line *L* is suppressed by
+a ``# noqa: RPxxx`` comment on that line (the rule id is required; a
+bare ``noqa`` deliberately does not silence these checks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .index import RepoIndex
+from .report import Finding, render_json, render_text
+from .rules import Rule, all_rules, get_rule
+
+# importing the rule modules registers them with the rules registry
+from . import (  # noqa: F401  (import-for-registration)
+    checks_bitwidth,
+    checks_determinism,
+    checks_docs,
+    checks_engines,
+    checks_fork,
+    checks_service,
+)
+
+__all__ = [
+    "Rule",
+    "Finding",
+    "RepoIndex",
+    "all_rules",
+    "get_rule",
+    "run_check",
+    "render_text",
+    "render_json",
+]
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """The rule set named by ``--select`` / ``--ignore`` (ids, any case)."""
+    rules = all_rules()
+    if select is not None:
+        wanted = {s.upper() for s in select}
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(r.id for r in rules)}"
+            )
+        rules = [r for r in rules if r.id in wanted]
+    if ignore is not None:
+        dropped = {s.upper() for s in ignore}
+        unknown = dropped - {r.id for r in all_rules()}
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(r.id for r in all_rules())}"
+            )
+        rules = [r for r in rules if r.id not in dropped]
+    return rules
+
+
+def run_check(
+    index: RepoIndex,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Run ``rules`` (default: all) over an indexed tree, sorted findings.
+
+    ``# noqa: RPxxx`` suppressions are applied here, so every caller —
+    CLI, CI, the analyzer's own tests — sees the same verdicts.
+    """
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.run(index):
+            if not index.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

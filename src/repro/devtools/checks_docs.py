@@ -1,0 +1,126 @@
+"""RP004 — registries stay documented in ``docs/spec-grammar.md``.
+
+Two string-keyed registries drive the experiment CLI: the spec grammar
+(``pyramid:...``, ``gnp:...``, ``hier:...`` — dispatched in
+``src/repro/generators/specs.py``) and the method registry
+(``exact:numpy``, ``group:hk`` — the ``_FIXED`` table plus parametrized
+families in ``src/repro/experiments/methods.py``).  Both are extended
+far more often than the docs page is, and an undocumented key is
+invisible to anyone not reading the dispatch code.  This rule extracts
+both registries from the AST and requires each key to appear in
+``docs/spec-grammar.md``:
+
+* a spec kind ``K`` must appear as the literal ``K:`` (the grammar page
+  writes prefixes in backticks with their colon, e.g. ``pyramid:``);
+* a method key ``M`` must appear backticked, exactly (`` `M` ``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set
+
+from .index import RepoIndex
+from .report import Finding
+from .rules import rule, str_constants_compared_to
+
+__all__ = ["SPECS_PATH", "METHODS_PATH", "GRAMMAR_DOC"]
+
+SPECS_PATH = "src/repro/generators/specs.py"
+METHODS_PATH = "src/repro/experiments/methods.py"
+GRAMMAR_DOC = "docs/spec-grammar.md"
+
+#: the dispatchers whose string compares define the spec grammar
+_SPEC_DISPATCHERS = ("dag_from_spec", "graph_from_spec", "hierarchy_from_spec")
+
+
+def _spec_kinds(index: RepoIndex) -> Optional[Dict[str, str]]:
+    """``{kind: dispatcher}`` for every spec prefix the grammar accepts."""
+    module = index.module(SPECS_PATH)
+    if module is None or module.tree is None:
+        return None
+    kinds: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name in _SPEC_DISPATCHERS
+        ):
+            for kind in str_constants_compared_to(node, "kind"):
+                kinds.setdefault(kind, node.name)
+    return kinds or None
+
+
+def _method_keys(index: RepoIndex) -> Optional[Set[str]]:
+    """Keys of the ``_FIXED`` method table in methods.py."""
+    module = index.module(METHODS_PATH)
+    if module is None or module.tree is None:
+        return None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            targets = {
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            }
+        elif isinstance(node, ast.AnnAssign):  # _FIXED: Dict[...] = {...}
+            targets = {node.target.id} if isinstance(
+                node.target, ast.Name
+            ) else set()
+        else:
+            continue
+        if "_FIXED" in targets and isinstance(node.value, ast.Dict):
+            return {
+                k.value
+                for k in node.value.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+    return None
+
+
+@rule(
+    "RP004",
+    "registry-docs-sync",
+    severity="error",
+    scope="repo",
+    description=(
+        "every spec-grammar kind and every fixed method key must be "
+        "documented in docs/spec-grammar.md"
+    ),
+)
+def check_registry_docs(index: RepoIndex) -> Iterator[Finding]:
+    doc = index.doc(GRAMMAR_DOC)
+    kinds = _spec_kinds(index)
+    methods = _method_keys(index)
+    if kinds is None and methods is None:
+        return  # not this repo's layout (e.g. an unrelated fixture tree)
+    if doc is None:
+        yield Finding(
+            rule="RP004", severity="error", path=GRAMMAR_DOC, line=1, col=0,
+            message="docs/spec-grammar.md is missing but the spec/method "
+                    "registries exist",
+        )
+        return
+
+    if kinds:
+        for kind in sorted(kinds):
+            if f"{kind}:" not in doc:
+                yield Finding(
+                    rule="RP004", severity="error", path=GRAMMAR_DOC,
+                    line=1, col=0,
+                    message=f'spec kind "{kind}:" (dispatched in '
+                            f"{kinds[kind]}) is not documented in the "
+                            f"grammar page",
+                )
+
+    if methods:
+        # inline code only: no newlines inside, and not part of a
+        # ``` fence (which would pair backticks across blocks)
+        backticked = set(re.findall(r"(?<!`)`([^`\n]+)`(?!`)", doc))
+        for key in sorted(methods):
+            if key in backticked:
+                continue
+            yield Finding(
+                rule="RP004", severity="error", path=GRAMMAR_DOC,
+                line=1, col=0,
+                message=f'method "{key}" (registered in _FIXED) is not '
+                        f"documented in the grammar page",
+            )

@@ -1,0 +1,160 @@
+"""RP005 — the service error contract matches its documentation.
+
+The HTTP layer promises a fixed set of status codes: the "Error codes"
+table in ``docs/api.md`` is what clients program against.  The codes a
+running server can actually produce are scattered across
+``src/repro/service/app.py`` (the ``_STATUS_PHRASES`` reason-phrase
+table, ``_HttpError(status, ...)`` raises, direct ``_respond(writer,
+status, ...)`` calls) and ``src/repro/service/schema.py``
+(``error_http_status``'s code->status mapping).  This rule collects
+both sets and requires them equal:
+
+* a producible status missing from the api.md table means clients can
+  receive an undocumented code;
+* a documented status nothing produces means the docs promise behaviour
+  the server doesn't have;
+* a status used by ``app.py`` with no ``_STATUS_PHRASES`` entry would
+  be emitted with an empty reason phrase.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Set
+
+from .index import RepoIndex
+from .report import Finding
+from .rules import dotted_name, rule
+
+__all__ = ["APP_PATH", "SCHEMA_PATH", "API_DOC"]
+
+APP_PATH = "src/repro/service/app.py"
+SCHEMA_PATH = "src/repro/service/schema.py"
+API_DOC = "docs/api.md"
+
+#: rows of the api.md error table: `| 404 | ... |`
+_DOC_STATUS_RE = re.compile(r"^\|\s*(\d{3})\s*\|", re.MULTILINE)
+
+_MIN_STATUS, _MAX_STATUS = 100, 599
+
+
+def _int_status(node: ast.expr) -> Optional[int]:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and _MIN_STATUS <= node.value <= _MAX_STATUS
+    ):
+        return node.value
+    return None
+
+
+def _phrase_table(tree: ast.Module) -> Optional[Set[int]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = {
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            }
+            if "_STATUS_PHRASES" in targets and isinstance(
+                node.value, ast.Dict
+            ):
+                return {
+                    k.value
+                    for k in node.value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, int)
+                }
+    return None
+
+
+def _produced_statuses(tree: ast.Module) -> Dict[int, int]:
+    """``{status: line}`` for every code app.py can put on the wire."""
+    out: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        leaf = name.rsplit(".", 1)[-1] if name else ""
+        if leaf == "_HttpError" and node.args:
+            status = _int_status(node.args[0])
+            if status is not None:
+                out.setdefault(status, node.lineno)
+        elif leaf == "_respond" and len(node.args) >= 2:
+            status = _int_status(node.args[1])
+            if status is not None:
+                out.setdefault(status, node.lineno)
+    # the generic exception handler assigns `status, payload = 500, ...`
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Tuple)):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Tuple):
+                continue
+            for tgt, val in zip(target.elts, node.value.elts):
+                if isinstance(tgt, ast.Name) and tgt.id == "status":
+                    status = _int_status(val)
+                    if status is not None:
+                        out.setdefault(status, node.lineno)
+    return out
+
+
+def _schema_statuses(index: RepoIndex) -> Set[int]:
+    module = index.module(SCHEMA_PATH)
+    if module is None or module.tree is None:
+        return set()
+    statuses: Set[int] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                status = _int_status(value)
+                if status is not None:
+                    statuses.add(status)
+    return statuses
+
+
+@rule(
+    "RP005",
+    "service-error-contract",
+    severity="error",
+    scope="repo",
+    description=(
+        "the status codes the service can produce, the _STATUS_PHRASES "
+        "reason table, and the docs/api.md error-code table must agree"
+    ),
+)
+def check_service_contract(index: RepoIndex) -> Iterator[Finding]:
+    module = index.module(APP_PATH)
+    if module is None or module.tree is None:
+        return  # no service layer in this tree
+    phrases = _phrase_table(module.tree)
+    produced = _produced_statuses(module.tree)
+    producible = set(produced) | _schema_statuses(index)
+
+    if phrases is not None:
+        for status in sorted(set(produced) - phrases):
+            yield Finding(
+                rule="RP005", severity="error", path=APP_PATH,
+                line=produced[status], col=0,
+                message=f"status {status} is produced but has no "
+                        f"_STATUS_PHRASES reason phrase",
+            )
+        producible |= phrases
+
+    doc = index.doc(API_DOC)
+    if doc is None:
+        return
+    documented = {int(m) for m in _DOC_STATUS_RE.findall(doc)}
+    documented.discard(200)  # the success row is not an error code
+    errors = {s for s in producible if s >= 400}
+
+    for status in sorted(errors - documented):
+        yield Finding(
+            rule="RP005", severity="error", path=API_DOC, line=1, col=0,
+            message=f"status {status} can reach clients but is missing "
+                    f"from the docs/api.md error-code table",
+        )
+    for status in sorted(documented - producible):
+        yield Finding(
+            rule="RP005", severity="error", path=API_DOC, line=1, col=0,
+            message=f"docs/api.md documents status {status} which neither "
+                    f"app.py nor schema.py can produce",
+        )

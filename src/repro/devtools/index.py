@@ -1,0 +1,132 @@
+"""The parsed-module index the rules run over.
+
+A :class:`RepoIndex` walks a repository root once and keeps, per file,
+everything a rule pass needs: source text, split lines, and (for python
+files) the parsed AST.  Per-file rules iterate :meth:`RepoIndex.modules`;
+cross-file rules ask for specific well-known paths
+(:meth:`RepoIndex.module` / :meth:`RepoIndex.doc`) so the same rule runs
+unchanged against the real repository and against the miniature fixture
+trees in ``tests/devtools/fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ModuleInfo", "RepoIndex", "DEFAULT_SCAN", "DEFAULT_EXCLUDES"]
+
+#: subtrees scanned when no explicit paths are given
+DEFAULT_SCAN: Tuple[str, ...] = (
+    "src",
+    "tests",
+    "docs",
+    "benchmarks",
+    "examples",
+    "tools",
+    "README.md",
+)
+
+#: path fragments never scanned (the analyzer's own known-violation
+#: fixtures live under tests/devtools/fixtures and *must* stay out of
+#: the default run)
+DEFAULT_EXCLUDES: Tuple[str, ...] = (
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    "results",
+    "tests/devtools/fixtures",
+)
+
+_NOQA_RE = re.compile(r"#\s*noqa:\s*(?P<ids>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed python file: path, source, lines, parsed AST."""
+
+    path: Path
+    rel: str  # posix-style path relative to the index root
+    source: str
+    lines: List[str] = field(default_factory=list)
+    tree: Optional[ast.Module] = None
+    syntax_error: Optional[str] = None
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "ModuleInfo":
+        source = path.read_text(encoding="utf-8")
+        info = cls(path=path, rel=rel, source=source, lines=source.splitlines())
+        try:
+            info.tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:  # surfaced by the framework, not a rule
+            info.syntax_error = f"{exc.msg} (line {exc.lineno})"
+        return info
+
+
+class RepoIndex:
+    """All python modules and markdown docs under one root, parsed once."""
+
+    def __init__(
+        self,
+        root: Path,
+        *,
+        paths: Optional[Sequence[str]] = None,
+        excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    ) -> None:
+        self.root = Path(root).resolve()
+        self._py: Dict[str, ModuleInfo] = {}
+        self._docs: Dict[str, str] = {}
+        self._excludes = tuple(excludes)
+        for entry in paths if paths is not None else DEFAULT_SCAN:
+            target = self.root / entry
+            if not target.exists():
+                continue
+            candidates = [target] if target.is_file() else sorted(
+                p for p in target.rglob("*") if p.is_file()
+            )
+            for path in candidates:
+                rel = path.relative_to(self.root).as_posix()
+                if self._excluded(rel):
+                    continue
+                if path.suffix == ".py":
+                    self._py[rel] = ModuleInfo.parse(path, rel)
+                elif path.suffix == ".md":
+                    self._docs[rel] = path.read_text(encoding="utf-8")
+
+    def _excluded(self, rel: str) -> bool:
+        return any(frag in rel for frag in self._excludes)
+
+    # -- lookups --------------------------------------------------------
+
+    def modules(self) -> Iterator[ModuleInfo]:
+        """All indexed python modules, in stable path order."""
+        for rel in sorted(self._py):
+            yield self._py[rel]
+
+    def module(self, rel: str) -> Optional[ModuleInfo]:
+        """The module at a well-known relative path, or None."""
+        return self._py.get(rel)
+
+    def doc(self, rel: str) -> Optional[str]:
+        """The markdown file at a well-known relative path, or None."""
+        return self._docs.get(rel)
+
+    def docs(self) -> Iterator[Tuple[str, str]]:
+        for rel in sorted(self._docs):
+            yield rel, self._docs[rel]
+
+    # -- suppressions ---------------------------------------------------
+
+    def is_suppressed(self, finding) -> bool:
+        """True when the finding's line carries ``# noqa: <rule id>``."""
+        info = self._py.get(finding.path)
+        if info is None or not (1 <= finding.line <= len(info.lines)):
+            return False
+        match = _NOQA_RE.search(info.lines[finding.line - 1])
+        if match is None:
+            return False
+        ids = {part.strip() for part in match.group("ids").split(",")}
+        return finding.rule in ids

@@ -1,0 +1,69 @@
+"""Findings and the two output formats of ``repro-pebble check``.
+
+The JSON schema is versioned and pinned by
+``tests/devtools/test_report.py`` — CI consumers parse it, so growing
+it is fine, renaming or removing keys is a breaking change.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["Finding", "render_text", "render_json", "JSON_FORMAT"]
+
+#: schema identifier embedded in every JSON report
+JSON_FORMAT = "repro-pebble/check/v1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def render_text(findings: Sequence[Finding], *, checked_rules: Sequence) -> str:
+    """Human-readable report: one ``path:line:col RPxxx message`` per line."""
+    lines: List[str] = []
+    for f in findings:
+        lines.append(f"{f.path}:{f.line}:{f.col} {f.rule} [{f.severity}] {f.message}")
+    counts = Counter(f.rule for f in findings)
+    if findings:
+        summary = ", ".join(f"{rid}={n}" for rid, n in sorted(counts.items()))
+        lines.append(
+            f"{len(findings)} finding(s) ({summary}) from "
+            f"{len(checked_rules)} rule(s)"
+        )
+    else:
+        lines.append(f"clean: {len(checked_rules)} rule(s), 0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], *, checked_rules: Sequence) -> str:
+    """Machine-readable report (schema pinned by the devtools tests)."""
+    payload = {
+        "format": JSON_FORMAT,
+        "ok": not findings,
+        "rules": [r.to_dict() for r in checked_rules],
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(Counter(f.rule for f in findings).items())),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

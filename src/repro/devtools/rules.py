@@ -1,0 +1,192 @@
+"""The rule registry: ``Rule`` objects plus per-file / cross-file passes.
+
+A rule is a plain object with an id, a severity, an ``autofixable``
+marker (whether ``--fix`` could mechanically rewrite the violation — a
+forward-looking flag: the CLI reports it but applies no fixes yet), and
+a check function.  Two pass shapes exist:
+
+* ``scope="file"`` — the check runs once per indexed python module and
+  receives ``(module, index)``; rules usually filter by ``module.rel``.
+* ``scope="repo"`` — the check runs once and receives the whole
+  :class:`~repro.devtools.index.RepoIndex`; this is how the sync rules
+  compare an engine catalogue against a test parametrization and a
+  docs table.
+
+Rules register themselves at import time via :func:`rule` so the
+catalogue is the single source the CLI, the docs and the tests all read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List
+
+from .index import ModuleInfo, RepoIndex
+from .report import Finding
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule"]
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    id: str
+    name: str
+    severity: str  # "error" | "warning"
+    autofixable: bool
+    scope: str  # "file" | "repo"
+    description: str
+    check: Callable[..., Iterable[Finding]]
+
+    def run(self, index: RepoIndex) -> Iterator[Finding]:
+        """Apply this rule over the index (dispatching on scope)."""
+        if self.scope == "repo":
+            yield from self.check(index)
+            return
+        for module in index.modules():
+            if module.syntax_error is not None:
+                # surface unparseable files once, through whatever rule
+                # sees them first; the finding carries the parser message
+                yield Finding(
+                    rule=self.id,
+                    severity="error",
+                    path=module.rel,
+                    line=1,
+                    col=0,
+                    message=f"file does not parse: {module.syntax_error}",
+                )
+                continue
+            yield from self.check(module, index)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "severity": self.severity,
+            "autofixable": self.autofixable,
+            "scope": self.scope,
+            "description": self.description,
+        }
+
+
+def rule(
+    id: str,
+    name: str,
+    *,
+    severity: str = "error",
+    autofixable: bool = False,
+    scope: str = "file",
+    description: str,
+) -> Callable[[Callable[..., Iterable[Finding]]], Callable[..., Iterable[Finding]]]:
+    """Decorator registering a check function as a :class:`Rule`."""
+    if severity not in ("error", "warning"):
+        raise ValueError(f"bad severity {severity!r}")
+    if scope not in ("file", "repo"):
+        raise ValueError(f"bad scope {scope!r}")
+
+    def register(fn: Callable[..., Iterable[Finding]]):
+        if id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {id}")
+        _REGISTRY[id] = Rule(
+            id=id,
+            name=name,
+            severity=severity,
+            autofixable=autofixable,
+            scope=scope,
+            description=description,
+            check=fn,
+        )
+        return fn
+
+    return register
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+# --------------------------------------------------------------------- #
+# shared AST helpers used by several rule modules
+# --------------------------------------------------------------------- #
+
+
+def finding(rule_obj_id: str, severity: str, module: ModuleInfo, node: ast.AST,
+            message: str) -> Finding:
+    """A finding anchored at an AST node of ``module``."""
+    return Finding(
+        rule=rule_obj_id,
+        severity=severity,
+        path=module.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def call_name(node: ast.Call) -> str:
+    """The last path component of a call target (``a.b.c()`` -> ``c``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` as a string, or ``""`` for non-name expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def str_constants_compared_to(tree: ast.AST, variable: str) -> Dict[str, int]:
+    """String constants an ``if variable == "..."`` chain compares against.
+
+    Returns ``{constant: line}``; also picks up
+    ``variable.startswith("prefix:")`` (recorded without the colon) —
+    together these cover the dispatch idiom of the spec grammars and the
+    engine seam.
+    """
+    out: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            names = {o.id for o in operands if isinstance(o, ast.Name)}
+            if variable not in names:
+                continue
+            for o in operands:
+                if isinstance(o, ast.Constant) and isinstance(o.value, str):
+                    out.setdefault(o.value, o.lineno)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "startswith"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == variable
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                out.setdefault(node.args[0].value.rstrip(":"), node.lineno)
+    return out

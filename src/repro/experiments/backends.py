@@ -32,7 +32,10 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
 
 from .results import RunResult, RunStatus
 from .spec import TaskSpec, resolve_red_limit
@@ -158,14 +161,20 @@ class ExecutionBackend:
     def __enter__(self) -> "ExecutionBackend":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
 class InlineBackend(ExecutionBackend):
     """Run tasks sequentially in the calling process (no timeouts)."""
 
-    def run_tasks(self, batch, *, timeout=None, on_result=None):
+    def run_tasks(
+        self,
+        batch: Sequence[Tuple[int, TaskSpec]],
+        *,
+        timeout: Optional[float] = None,
+        on_result: OnResult = None,
+    ) -> List[Tuple[int, RunResult]]:
         produced = []
         for key, task in batch:
             result = execute_task(task)
@@ -175,7 +184,7 @@ class InlineBackend(ExecutionBackend):
         return produced
 
 
-def _worker_loop(conn) -> None:  # pragma: no cover - exercised in subprocesses
+def _worker_loop(conn: "Connection") -> None:  # pragma: no cover - exercised in subprocesses
     """Worker process: receive task dicts, send back result dicts."""
     try:
         while True:
@@ -212,7 +221,7 @@ class PipeWorker:
 _Worker = PipeWorker
 
 
-def spawn_pipe_worker(ctx, target) -> PipeWorker:
+def spawn_pipe_worker(ctx: multiprocessing.context.BaseContext, target: Callable) -> PipeWorker:
     """Start ``target(child_conn)`` as a daemon process with a pipe.
 
     Daemonic processes normally may not have children, but a solver
@@ -267,7 +276,7 @@ class MultiprocessingBackend(ExecutionBackend):
 
     enforces_timeouts = True
 
-    def __init__(self, jobs: int = 1, *, timeout: Optional[float] = None):
+    def __init__(self, jobs: int = 1, *, timeout: Optional[float] = None) -> None:
         if jobs < 1:
             raise ValueError(f"MultiprocessingBackend needs jobs >= 1, got {jobs}")
         self.jobs = jobs
@@ -318,7 +327,13 @@ class MultiprocessingBackend(ExecutionBackend):
 
     # -- execution -----------------------------------------------------
 
-    def run_tasks(self, batch, *, timeout=None, on_result=None):
+    def run_tasks(
+        self,
+        batch: Sequence[Tuple[int, TaskSpec]],
+        *,
+        timeout: Optional[float] = None,
+        on_result: OnResult = None,
+    ) -> List[Tuple[int, RunResult]]:
         if self._closed:
             raise RuntimeError("backend is closed")
         pending = list(reversed(list(batch)))

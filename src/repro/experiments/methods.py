@@ -91,7 +91,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..reductions.hampath import HamPathReduction
 
 from ..core.instance import PebblingInstance
 from ..core.simulator import PebblingSimulator
@@ -296,7 +299,9 @@ def _spec_arg(task: TaskSpec, expected: str) -> str:
     return arg
 
 
-def _hampath_reduction_for(task: TaskSpec, inst: PebblingInstance):
+def _hampath_reduction_for(
+    task: TaskSpec, inst: PebblingInstance
+) -> "tuple[object, HamPathReduction]":
     from ..generators.specs import graph_from_spec
     from ..reductions.hampath import hampath_reduction
 
@@ -305,7 +310,9 @@ def _hampath_reduction_for(task: TaskSpec, inst: PebblingInstance):
     return graph, red
 
 
-def _simulated_order_cost(red, order) -> "tuple[Fraction, int]":
+def _simulated_order_cost(
+    red: HamPathReduction, order: "Sequence[int]"
+) -> "tuple[Fraction, int]":
     """Replay the canonical strategy for ``order`` through the simulator
     (on the reduction's own instance — the H2C variant for base/compcost)
     and return (cost, moves)."""

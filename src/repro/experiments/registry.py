@@ -68,14 +68,14 @@ def register_spec(spec: ExperimentSpec, *, replace: bool = False) -> ExperimentS
     return spec
 
 
-def register_check(name: str):
+def register_check(name: str) -> Callable:
     """Decorator: attach an assertion suite to the spec called ``name``.
 
     The function receives the spec's full result list (in task order)
     and must raise :class:`AssertionError` for any violated invariant.
     """
 
-    def deco(fn: Callable[[List[RunResult]], None]):
+    def deco(fn: Callable[[List[RunResult]], None]) -> Callable[[List[RunResult]], None]:
         _CHECKS.setdefault(name, []).append(fn)
         return fn
 
@@ -475,14 +475,14 @@ def _assert_all_ok(results: List[RunResult]) -> None:
     )
 
 
-def _cells(results: List[RunResult], **coords) -> List[RunResult]:
+def _cells(results: List[RunResult], **coords: object) -> List[RunResult]:
     out = results
     for key, val in coords.items():
         out = [r for r in out if getattr(r, key) == val]
     return out
 
 
-def _cell(results: List[RunResult], **coords) -> RunResult:
+def _cell(results: List[RunResult], **coords: object) -> RunResult:
     found = _cells(results, **coords)
     assert len(found) == 1, f"expected exactly one cell for {coords}, got {len(found)}"
     return found[0]
@@ -555,7 +555,9 @@ def _check_thm3_converges(results: List[RunResult]) -> None:
     assert ratios[-1] < 1.05, f"not within 5% at the largest k: {ratios[-1]:.4f}"
 
 
-def _greedy_opt_ratios(results: List[RunResult], greedy: str, opt: str):
+def _greedy_opt_ratios(
+    results: List[RunResult], greedy: str, opt: str
+) -> "list[tuple[str, float, RunResult]]":
     """(dag, greedy/opt ratio, greedy row) triples in task (= size) order."""
     out = []
     for g in _cells(results, method=greedy):

@@ -77,7 +77,7 @@ class RunResult:
     error: Optional[str] = None
     extra: Dict[str, str] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "status", RunStatus(self.status))
 
     @property

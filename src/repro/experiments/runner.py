@@ -69,7 +69,7 @@ class Runner:
         refresh: bool = False,
         store: Optional[ResultStore] = None,
         backend: Optional[ExecutionBackend] = None,
-    ):
+    ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.jobs = jobs

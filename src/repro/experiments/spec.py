@@ -157,7 +157,7 @@ class ExperimentSpec:
     timeout: Optional[float] = None
     tags: Tuple[str, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for fname in ("dags", "models", "methods", "red_limits", "tags"):
             value = getattr(self, fname)
             if not isinstance(value, tuple):

@@ -64,7 +64,7 @@ def _decode_node(v: Any) -> Node:
     return v
 
 
-def dag_to_json(dag: ComputationDAG, *, indent: "int | None" = None) -> str:
+def dag_to_json(dag: ComputationDAG, *, indent: int | None = None) -> str:
     payload = {
         "nodes": [_encode_node(v) for v in dag.nodes],
         "edges": [[_encode_node(u), _encode_node(v)] for u, v in dag.edges()],
@@ -80,7 +80,7 @@ def dag_from_json(text: str) -> ComputationDAG:
     )
 
 
-def schedule_to_json(schedule: Schedule, *, indent: "int | None" = None) -> str:
+def schedule_to_json(schedule: Schedule, *, indent: int | None = None) -> str:
     payload = [[kind, _encode_node(node)] for kind, node in schedule.as_tuples()]
     return json.dumps(payload, indent=indent)
 
@@ -92,7 +92,7 @@ def schedule_from_json(text: str) -> Schedule:
     )
 
 
-def instance_to_json(instance: PebblingInstance, *, indent: "int | None" = None) -> str:
+def instance_to_json(instance: PebblingInstance, *, indent: int | None = None) -> str:
     payload = {
         "model": instance.model.value,
         "red_limit": instance.red_limit,
@@ -124,7 +124,7 @@ def instance_from_json(text: str) -> PebblingInstance:
 # Experiment artifacts
 # ---------------------------------------------------------------------------
 
-_CSV_COLUMNS = [
+_CSV_COLUMNS: List[str] = [
     "spec",
     "dag",
     "model",
@@ -142,7 +142,7 @@ _CSV_COLUMNS = [
 
 
 def run_results_to_json(
-    results: Iterable["RunResult"], *, indent: "int | None" = 2
+    results: Iterable["RunResult"], *, indent: int | None = 2
 ) -> str:
     """Serialize a RunResult set as a versioned JSON artifact."""
     payload = {

@@ -296,7 +296,9 @@ class PebbleService:
         try:
             return json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
-            raise _HttpError(400, "bad-request", f"body is not valid JSON: {exc}")
+            raise _HttpError(
+                400, "bad-request", f"body is not valid JSON: {exc}"
+            ) from exc
 
     # -- handlers ------------------------------------------------------
 
@@ -354,7 +356,7 @@ class PebbleService:
         try:
             request = schema.parse_query(payload)
         except schema.SchemaError as exc:
-            raise _HttpError(400, "bad-request", str(exc))
+            raise _HttpError(400, "bad-request", str(exc)) from exc
         return await self._answer_one(request)
 
     async def _post_batch(self, payload: Any):
@@ -367,7 +369,7 @@ class PebbleService:
         try:
             requests = [schema.parse_query(q) for q in queries]
         except schema.SchemaError as exc:
-            raise _HttpError(400, "bad-request", str(exc))
+            raise _HttpError(400, "bad-request", str(exc)) from exc
         answered = await asyncio.gather(
             *(self._answer_one(r) for r in requests)
         )

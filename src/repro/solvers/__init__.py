@@ -52,7 +52,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     try:
         module, attr = _LAZY[name]
     except KeyError:

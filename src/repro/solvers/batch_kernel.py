@@ -42,7 +42,7 @@ plus the golden-optima zoo pin this engine to it on every run.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 try:
     import numpy as np
@@ -55,6 +55,7 @@ except ImportError as exc:  # pragma: no cover - numpy is a dependency
 from ..core.bitstate import iter_bits
 from ..core.errors import BudgetExceededError, SolverError
 from ..core.instance import PebblingInstance
+from ..core.moves import Move
 from . import kernel
 from .kernel import DominanceTable, Expander, KernelResult
 
@@ -100,13 +101,19 @@ class _VectorDominance:
 
     __slots__ = ("shift", "bk", "red", "g")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.shift = _U64(n)
         self.bk = np.empty(0, dtype=_U64)
         self.red = np.empty(0, dtype=_U64)
         self.g = np.empty(0, dtype=np.int64)
 
-    def filter_batch(self, red, blue, computed, g) -> "np.ndarray":
+    def filter_batch(
+        self,
+        red: "np.ndarray",
+        blue: "np.ndarray",
+        computed: "np.ndarray",
+        g: "np.ndarray",
+    ) -> "np.ndarray":
         """Boolean keep-mask over the batch; admitted states are recorded."""
         bk = (blue << self.shift) | computed
         m = len(bk)
@@ -117,9 +124,11 @@ class _VectorDominance:
             counts = hi - lo
             total = int(counts.sum())
             if total:
-                fci = np.repeat(np.arange(m), counts)
+                fci = np.repeat(np.arange(m, dtype=np.int64), counts)
                 # flat store index: each row i scans self.bk[lo[i]:hi[i]]
-                fsi = np.arange(total) + np.repeat(lo - (np.cumsum(counts) - counts), counts)
+                fsi = np.arange(total, dtype=np.int64) + np.repeat(
+                    lo - (np.cumsum(counts) - counts), counts
+                )
                 dom = (self.g[fsi] <= g[fci]) & (
                     (red[fci] & ~self.red[fsi]) == 0
                 )
@@ -150,17 +159,17 @@ class _GStore:
 
     __slots__ = ("keys", "g")
 
-    def __init__(self, start_key: int):
+    def __init__(self, start_key: int) -> None:
         self.keys = np.array([start_key], dtype=_U64)
         self.g = np.zeros(1, dtype=np.int64)
 
-    def _lookup(self, karr):
+    def _lookup(self, karr: "np.ndarray") -> Tuple["np.ndarray", "np.ndarray"]:
         pos = np.searchsorted(self.keys, karr)
         pos = np.minimum(pos, len(self.keys) - 1)
         found = self.keys[pos] == karr
         return pos, found
 
-    def settle(self, karr, g) -> "np.ndarray":
+    def settle(self, karr: "np.ndarray", g: "np.ndarray") -> "np.ndarray":
         """Keep-mask of batch rows popped at their recorded (optimal) g.
 
         ``karr`` must be duplicate-free; admitted rows are marked settled.
@@ -171,7 +180,7 @@ class _GStore:
         self.g[fpos] = -self.g[fpos] - 1
         return fresh
 
-    def update(self, karr, ng) -> "np.ndarray":
+    def update(self, karr: "np.ndarray", ng: "np.ndarray") -> "np.ndarray":
         """Keep-mask of successors that are new or strictly improve.
 
         ``karr`` must be duplicate-free; improved/new g values are
@@ -204,7 +213,7 @@ class _BatchContext:
         "pack_shift",
     )
 
-    def __init__(self, ex: Expander):
+    def __init__(self, ex: Expander) -> None:
         n = ex.n
         if n > 64:
             raise ValueError(
@@ -222,7 +231,9 @@ class _BatchContext:
         # come from vector arithmetic; otherwise keys are (r, b, c) tuples
         self.pack_shift = n if 3 * n <= 64 else None
 
-    def keys_of(self, red, blue, computed) -> list:
+    def keys_of(
+        self, red: "np.ndarray", blue: "np.ndarray", computed: "np.ndarray"
+    ) -> list:
         """Exact dictionary keys for a batch, cheapest representation."""
         shift = self.pack_shift
         if shift is not None:
@@ -231,7 +242,7 @@ class _BatchContext:
             ).tolist()
         return list(zip(red.tolist(), blue.tolist(), computed.tolist()))
 
-    def start_key(self):
+    def start_key(self) -> "int | Tuple[int, int, int]":
         return 0 if self.pack_shift is not None else (0, 0, 0)
 
 
@@ -245,7 +256,7 @@ class _BatchContext:
 _BATCH_HEURISTICS: Dict[object, Callable] = {}
 
 
-def register_batch_heuristic(heuristic, compiler) -> None:
+def register_batch_heuristic(heuristic: object, compiler: Callable) -> None:
     """Register a batched compiler for a PebblingState-level heuristic.
 
     Mirrors :func:`repro.solvers.kernel.register_bit_heuristic`; without
@@ -255,7 +266,7 @@ def register_batch_heuristic(heuristic, compiler) -> None:
     _BATCH_HEURISTICS[heuristic] = compiler
 
 
-def _compile_batch_heuristic(ctx: _BatchContext, heuristic):
+def _compile_batch_heuristic(ctx: _BatchContext, heuristic: object) -> Optional[Callable]:
     if heuristic is None:
         return None
     compiler = _BATCH_HEURISTICS.get(heuristic)
@@ -263,7 +274,7 @@ def _compile_batch_heuristic(ctx: _BatchContext, heuristic):
         return compiler(ctx)
     scalar = kernel._compile_heuristic(ctx.ex, heuristic)
 
-    def h(red, blue, computed):
+    def h(red: "np.ndarray", blue: "np.ndarray", computed: "np.ndarray") -> "np.ndarray":
         values = [
             scalar(r, b, c)
             for r, b, c in zip(red.tolist(), blue.tolist(), computed.tolist())
@@ -273,7 +284,7 @@ def _compile_batch_heuristic(ctx: _BatchContext, heuristic):
     return h
 
 
-def _compile_compcost_batch(ctx: _BatchContext):
+def _compile_compcost_batch(ctx: _BatchContext) -> Callable:
     """Vectorized twin of the compcost heuristic's bit-native compiler."""
     ex = ctx.ex
     layout = ex.layout
@@ -284,7 +295,7 @@ def _compile_compcost_batch(ctx: _BatchContext):
         for s in iter_bits(layout.sink_mask)
     ]
 
-    def h(red, blue, computed):
+    def h(red: "np.ndarray", blue: "np.ndarray", computed: "np.ndarray") -> "np.ndarray":
         if compute_i == 0:
             return np.zeros(len(red), dtype=np.int64)
         pebbled = red | blue
@@ -309,7 +320,12 @@ register_batch_heuristic(compcost_heuristic, _compile_compcost_batch)
 # --------------------------------------------------------------------- #
 
 
-def _expand_batch(ctx: _BatchContext, red, blue, computed):
+def _expand_batch(
+    ctx: _BatchContext,
+    red: "np.ndarray",
+    blue: "np.ndarray",
+    computed: "np.ndarray",
+) -> Tuple["np.ndarray", ...]:
     """All delete-normalized successors of a batch, as flat arrays.
 
     Returns ``(parent_idx, nred, nblue, ncomputed, cost, code)`` where
@@ -328,7 +344,14 @@ def _expand_batch(ctx: _BatchContext, red, blue, computed):
     cost_parts: List[np.ndarray] = []
     code_parts: List[np.ndarray] = []
 
-    def emit(pi, nred, nblue, ncomp, cost_i, codes):
+    def emit(
+        pi: "np.ndarray",
+        nred: "np.ndarray",
+        nblue: "np.ndarray",
+        ncomp: "np.ndarray",
+        cost_i: int,
+        codes: "np.ndarray",
+    ) -> None:
         if len(pi) == 0:
             return
         pi_parts.append(pi)
@@ -413,7 +436,7 @@ def astar_batch(
     *,
     budget: int = 2_000_000,
     return_schedule: bool = True,
-    heuristic=None,
+    heuristic: object = None,
     dominance: bool = True,
     max_batch: int = 4096,
     on_exhausted: str = "raise",
@@ -471,7 +494,7 @@ def astar_batch(
     generated = 0
     sink_mask = ctx.sink_mask
 
-    def reconstruct(goal_key):
+    def reconstruct(goal_key: object) -> List[Move]:
         codes = []
         k = goal_key
         while k in parents:
@@ -531,7 +554,7 @@ def astar_batch(
             if not keep:
                 continue
             if len(keep) != len(keys):
-                idx = np.array(keep)
+                idx = np.array(keep, dtype=np.int64)
                 red, blue, computed, g = red[idx], blue[idx], computed[idx], g[idx]
                 keys = [keys[i] for i in keep]
 
@@ -569,7 +592,7 @@ def astar_batch(
                 if not keep:
                     continue
                 if len(keep) != len(reds):
-                    idx = np.array(keep)
+                    idx = np.array(keep, dtype=np.int64)
                     red, blue, computed, g = (
                         red[idx], blue[idx], computed[idx], g[idx]
                     )
@@ -643,7 +666,7 @@ def astar_batch(
             if not keep:
                 continue
             generated += len(keep)
-            idx = np.array(keep)
+            idx = np.array(keep, dtype=np.int64)
             nred, nblue, ncomp, ng = nred[idx], nblue[idx], ncomp[idx], ng[idx]
 
         nf = ng if h is None else ng + h(nred, nblue, ncomp)

@@ -49,7 +49,7 @@ def _check_inputs(n: int, start: Sequence, trans: Matrix) -> None:
         raise ValueError("start must have length n and trans must be n x n")
 
 
-def _precedence_masks(n: int, precedence: Iterable[Tuple[int, int]]):
+def _precedence_masks(n: int, precedence: Iterable[Tuple[int, int]]) -> List[int]:
     """For each group j, a bitmask of groups that must precede j."""
     before = [0] * n
     for i, j in precedence:

@@ -53,7 +53,7 @@ import heapq
 import itertools
 import math
 from fractions import Fraction
-from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from ..core.bitstate import BitLayout, BitState, bit_layout, iter_bits
 from ..core.errors import BudgetExceededError, SolverError
@@ -119,7 +119,7 @@ class Expander:
         "sink_mask",
     )
 
-    def __init__(self, instance: PebblingInstance):
+    def __init__(self, instance: PebblingInstance) -> None:
         costs = instance.costs
         self.instance = instance
         self.layout = bit_layout(instance.dag)
@@ -165,7 +165,9 @@ class Expander:
         """Every sink carries a pebble of either colour."""
         return self.sink_mask & ~(red | blue) == 0
 
-    def successors(self, red: int, blue: int, computed: int):
+    def successors(
+        self, red: int, blue: int, computed: int
+    ) -> Iterator[Tuple[int, int, int, int, int]]:
         """Yield ``(nred, nblue, ncomputed, cost_i, move_code)`` per edge.
 
         Edges follow the delete-normalized move alphabet (see the module
@@ -291,7 +293,7 @@ class DominanceTable:
 
     __slots__ = ("n", "_buckets")
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.n = n
         self._buckets: Dict[int, List[Tuple[int, int]]] = {}
 
@@ -319,7 +321,10 @@ class DominanceTable:
 _BIT_HEURISTICS: Dict[object, Callable[[Expander], Callable[[int, int, int], int]]] = {}
 
 
-def register_bit_heuristic(heuristic, compiler) -> None:
+def register_bit_heuristic(
+    heuristic: object,
+    compiler: Callable[[Expander], Callable[[int, int, int], int]],
+) -> None:
     """Register a bit-native compiler for a PebblingState-level heuristic.
 
     ``compiler(expander)`` must return ``h(red, blue, computed) -> int`` in
@@ -333,7 +338,7 @@ def register_bit_heuristic(heuristic, compiler) -> None:
 
 
 def _compile_heuristic(
-    expander: Expander, heuristic
+    expander: Expander, heuristic: object
 ) -> Optional[Callable[[int, int, int], int]]:
     if heuristic is None:
         return None
@@ -363,7 +368,7 @@ def astar_bits(
     *,
     budget: int = 2_000_000,
     return_schedule: bool = True,
-    heuristic=None,
+    heuristic: object = None,
     dominance: bool = True,
     on_exhausted: str = "raise",
 ) -> KernelResult:
@@ -472,7 +477,7 @@ def idastar_bits(
     *,
     budget: int = 4_000_000,
     return_schedule: bool = True,
-    heuristic=None,
+    heuristic: object = None,
     max_iterations: int = 10_000,
 ) -> KernelResult:
     """Optimal pebbling by iterative threshold deepening over bitmask states.

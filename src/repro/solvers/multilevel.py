@@ -53,7 +53,7 @@ import itertools
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.bitstate import bit_layout
 from ..core.errors import BudgetExceededError, SolverError
@@ -119,7 +119,7 @@ class _MLExpander:
         "fused",
     )
 
-    def __init__(self, instance: MultilevelInstance):
+    def __init__(self, instance: MultilevelInstance) -> None:
         spec = instance.spec
         self.instance = instance
         self.layout = bit_layout(instance.dag)
@@ -148,7 +148,9 @@ class _MLExpander:
             key |= m << (i * n)
         return key
 
-    def successors(self, masks: Tuple[int, ...]):
+    def successors(
+        self, masks: Tuple[int, ...]
+    ) -> Iterator[Tuple[Tuple[int, ...], int, int]]:
         """Yield ``(new_masks, cost_i, move_code)`` per normalized edge."""
         n = self.n
         levels = self.levels

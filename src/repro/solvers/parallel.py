@@ -51,7 +51,13 @@ import threading
 import time
 import traceback
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection
+
+    from ..experiments.backends import PipeWorker
+    from .exact import OptimalResult
 
 from ..core.errors import BudgetExceededError, SolverError
 from ..core.instance import PebblingInstance
@@ -88,7 +94,7 @@ class _Stop(Exception):
 # --------------------------------------------------------------------- #
 
 
-def _shard_worker_loop(conn) -> None:  # pragma: no cover - runs in subprocesses
+def _shard_worker_loop(conn: Connection) -> None:  # pragma: no cover - runs in subprocesses
     """Outer worker loop: one ``solve`` message per search, then back to
     waiting — workers stay warm across solves."""
     try:
@@ -113,7 +119,7 @@ def _shard_worker_loop(conn) -> None:  # pragma: no cover - runs in subprocesses
             pass
 
 
-def _shard_search(conn, instance: PebblingInstance, cfg: dict) -> None:
+def _shard_search(conn: Connection, instance: PebblingInstance, cfg: dict) -> None:
     """One shard of one search; communicates only through ``conn``."""
     ex = kernel.Expander(instance)
     n = ex.n
@@ -138,7 +144,7 @@ def _shard_search(conn, instance: PebblingInstance, cfg: dict) -> None:
     expanded = 0
     generated = 0
 
-    def push_local(key: int, g: int, pkey, code) -> None:
+    def push_local(key: int, g: int, pkey: Optional[int], code: Optional[int]) -> None:
         old = best_g.get(key)
         if old is not None and g >= old:
             return
@@ -168,7 +174,7 @@ def _shard_search(conn, instance: PebblingInstance, cfg: dict) -> None:
             return True
         return False
 
-    def handle(msg) -> None:
+    def handle(msg: tuple) -> None:
         nonlocal incumbent, received
         tag = msg[0]
         if tag == "push":
@@ -243,7 +249,7 @@ def _shard_search(conn, instance: PebblingInstance, cfg: dict) -> None:
 class _ShardPool:
     """``jobs`` persistent shard workers, reusable across solves."""
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int) -> None:
         from ..experiments.backends import spawn_pipe_worker
 
         self.jobs = jobs
@@ -347,12 +353,12 @@ def solve_optimal_parallel(
     jobs: int = 2,
     budget: int = 2_000_000,
     return_schedule: bool = True,
-    heuristic=None,
+    heuristic: object = None,
     shard_seed: int = 0,
     dominance: bool = True,
     chunk: int = 512,
     inject_fault: Optional[Tuple[int, int]] = None,
-):
+) -> OptimalResult:
     """Exact optimal pebbling via HDA*-style sharded parallel search.
 
     Same contract as :func:`repro.solvers.exact.solve_optimal` with
@@ -427,12 +433,12 @@ def _drive_search(
     *,
     budget: int,
     return_schedule: bool,
-    heuristic,
+    heuristic: object,
     shard_seed: int,
     dominance: bool,
     chunk: int,
-    inject_fault,
-):
+    inject_fault: Optional[Tuple[int, int]],
+) -> OptimalResult:
     from .exact import OptimalResult
 
     jobs = pool.jobs
@@ -550,7 +556,14 @@ def _drive_search(
     return OptimalResult(ex.unscale(incumbent), schedule, expanded, generated)
 
 
-def _trace_schedule(workers, ex, goal_key, start_key, shard_seed, jobs):
+def _trace_schedule(
+    workers: List[PipeWorker],
+    ex: kernel.Expander,
+    goal_key: int,
+    start_key: int,
+    shard_seed: int,
+    jobs: int,
+) -> List[int]:
     """Walk the distributed parent chain back from the goal."""
     codes: List[int] = []
     key = goal_key

@@ -1,0 +1,8 @@
+"""Keep the known-violation fixture trees out of pytest collection.
+
+``fixtures/`` holds deliberately broken modules (and mini repo trees
+whose files match ``test_*.py``); they are inputs to the analyzer's
+tests, not tests themselves.
+"""
+
+collect_ignore = ["fixtures"]

@@ -1,0 +1,15 @@
+"""RP002 fixture: solve_optimal dispatches an engine the mirrors miss."""
+
+
+def solve_optimal(inst, engine="bits"):
+    if engine == "legacy":
+        return ("legacy", inst)
+    if engine == "turbo":  # drift: absent from tests and docs
+        return ("turbo", inst)
+    if engine == "bits":
+        return ("bits", inst)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def solve_optimal_legacy(inst):
+    return solve_optimal(inst, engine="legacy")

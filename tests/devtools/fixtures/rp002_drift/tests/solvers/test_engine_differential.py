@@ -1,0 +1,7 @@
+"""RP002 fixture: ENGINES lists a retired engine and misses "turbo"."""
+
+ENGINES = ("legacy", "ghost")
+
+
+def test_engines_nonempty():
+    assert ENGINES

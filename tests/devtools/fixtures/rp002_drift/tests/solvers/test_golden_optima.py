@@ -1,0 +1,8 @@
+"""RP002 fixture: golden coverage for bits (default) and legacy only."""
+
+from repro.solvers.exact import solve_optimal, solve_optimal_legacy
+
+
+def test_golden():
+    assert solve_optimal(None)[0] == "bits"
+    assert solve_optimal(None, engine="legacy") == solve_optimal_legacy(None)

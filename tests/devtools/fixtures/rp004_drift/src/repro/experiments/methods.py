@@ -1,0 +1,15 @@
+"""RP004 fixture: a fixed method key the grammar page doesn't document."""
+
+
+def _run_exact(inst):
+    return inst
+
+
+def _run_secret(inst):
+    return inst
+
+
+_FIXED = {
+    "exact": _run_exact,
+    "secret:method": _run_secret,  # drift: not in docs/spec-grammar.md
+}

@@ -1,0 +1,10 @@
+"""RP004 fixture: a spec kind the grammar page doesn't document."""
+
+
+def dag_from_spec(spec):
+    kind, _, rest = spec.partition(":")
+    if kind == "pyramid":
+        return ("pyramid", rest)
+    if kind == "mystery":  # drift: not in docs/spec-grammar.md
+        return ("mystery", rest)
+    raise ValueError(spec)

@@ -1,0 +1,24 @@
+"""RP005 fixture: produced statuses drift from phrases and docs."""
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status, code, message):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _respond(writer, status, body):
+    writer.write(b"%d %s" % (status, body))
+
+
+def handle(writer, ok):
+    if not ok:
+        raise _HttpError(418, "teapot", "short and stout")  # no phrase, undocumented
+    _respond(writer, 400, b"bad request")

@@ -1,0 +1,64 @@
+"""``repro-pebble check`` exit codes and output plumbing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_check_is_green_on_the_repo(capsys):
+    assert main(["check", "--root", str(REPO_ROOT)]) == 0
+    assert "clean: 6 rule(s), 0 findings" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "tree", ["rp002_drift", "rp004_drift", "rp005_drift"]
+)
+def test_check_fails_on_each_drift_tree(tree, capsys):
+    assert main(["check", "--root", str(FIXTURES / tree)]) == 1
+    assert tree.split("_")[0].upper() in capsys.readouterr().out
+
+
+def test_check_json_output(capsys):
+    code = main([
+        "check", "--root", str(FIXTURES / "rp004_drift"), "--format", "json",
+    ])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "repro-pebble/check/v1"
+    assert payload["ok"] is False
+    assert payload["counts"] == {"RP004": 2}
+
+
+def test_check_select_limits_the_rule_set(capsys):
+    # the rp004 drift tree is clean under RP005 alone
+    code = main([
+        "check", "--root", str(FIXTURES / "rp004_drift"), "--select", "RP005",
+    ])
+    assert code == 0
+    assert "1 rule(s)" in capsys.readouterr().out
+
+
+def test_check_ignore_drops_a_rule():
+    code = main([
+        "check", "--root", str(FIXTURES / "rp004_drift"), "--ignore", "RP004",
+    ])
+    assert code == 0
+
+
+def test_check_rejects_unknown_rule_ids():
+    with pytest.raises(SystemExit, match="unknown rule"):
+        main(["check", "--root", str(REPO_ROOT), "--select", "RP999"])
+
+
+def test_check_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+        assert rule_id in out
+    assert "[autofixable]" in out

@@ -1,0 +1,52 @@
+"""The JSON report schema is versioned and pinned here.
+
+CI consumers parse ``repro-pebble check --format json``; growing the
+payload is fine, renaming or removing keys is a breaking change that
+must bump ``JSON_FORMAT``.
+"""
+
+import json
+
+from repro.devtools import all_rules, render_json, render_text
+from repro.devtools.report import JSON_FORMAT, Finding
+
+_FINDING = Finding(
+    rule="RP001",
+    severity="error",
+    path="src/repro/solvers/batch_kernel.py",
+    line=12,
+    col=4,
+    message="example",
+)
+
+
+def test_json_schema_is_stable():
+    payload = json.loads(render_json([_FINDING], checked_rules=all_rules()))
+    assert payload["format"] == JSON_FORMAT == "repro-pebble/check/v1"
+    assert set(payload) == {"format", "ok", "rules", "findings", "counts"}
+    assert payload["ok"] is False
+    assert payload["counts"] == {"RP001": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "severity", "path", "line", "col", "message"}
+    for rule in payload["rules"]:
+        assert set(rule) == {
+            "id", "name", "severity", "autofixable", "scope", "description",
+        }
+
+
+def test_json_clean_run_is_ok():
+    payload = json.loads(render_json([], checked_rules=all_rules()))
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["counts"] == {}
+
+
+def test_text_report_lines():
+    text = render_text([_FINDING], checked_rules=all_rules())
+    first, summary = text.splitlines()
+    assert first == (
+        "src/repro/solvers/batch_kernel.py:12:4 RP001 [error] example"
+    )
+    assert "1 finding(s)" in summary and "RP001=1" in summary
+    clean = render_text([], checked_rules=all_rules())
+    assert clean == "clean: 6 rule(s), 0 findings"

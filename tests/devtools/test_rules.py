@@ -1,0 +1,152 @@
+"""Each RPxxx rule fires on its known-violation fixture — and only there.
+
+The fixtures live in ``tests/devtools/fixtures/`` (excluded from both
+pytest collection and the analyzer's default scan).  Per-file rules get
+a single deliberately broken module; the cross-file sync rules get
+miniature repo trees with one injected drift each.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import RepoIndex, all_rules, get_rule, run_check, select_rules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _findings(root, rule_id, paths=None):
+    index = RepoIndex(root, paths=paths)
+    return run_check(index, rules=[get_rule(rule_id)])
+
+
+# --------------------------------------------------------------------- #
+# per-file rules: one broken module each
+# --------------------------------------------------------------------- #
+
+
+def test_rp001_fires_on_packed_fixture():
+    found = _findings(FIXTURES, "RP001", paths=["rp001_packed.py"])
+    assert len(found) == 5
+    assert {f.rule for f in found} == {"RP001"}
+    messages = " | ".join(f.message for f in found)
+    assert "shifted by literal 64" in messages
+    assert "65 bits" in messages
+    assert "without an explicit dtype" in messages
+    assert "int32" in messages
+    assert "uint32" in messages
+    # the canonical (1 << 64) - 1 mask idiom on line 5 is NOT flagged
+    assert all(f.line != 5 for f in found)
+
+
+def test_rp003_fires_on_fork_fixture():
+    found = _findings(FIXTURES, "RP003", paths=["rp003_forks.py"])
+    assert len(found) == 5
+    messages = " | ".join(f.message for f in found)
+    assert "lambda as process target" in messages
+    assert "bound attribute" in messages
+    assert "nested function" in messages
+    assert "register_at_fork inside a function" in messages
+
+
+def test_rp006_fires_on_flaky_fixture():
+    found = _findings(FIXTURES, "RP006", paths=["rp006_flaky.py"])
+    assert len(found) == 5
+    messages = " | ".join(f.message for f in found)
+    assert "unseeded global generator" in messages
+    assert "numpy's unseeded global" in messages
+    assert "wall clock" in messages
+    assert "inside an assert" in messages
+
+
+# --------------------------------------------------------------------- #
+# cross-file rules: miniature repo trees with injected drift
+# --------------------------------------------------------------------- #
+
+
+def test_rp002_fires_on_engine_drift_tree():
+    found = _findings(FIXTURES / "rp002_drift", "RP002")
+    messages = [f.message for f in found]
+    assert any('engine "turbo" is dispatched' in m for m in messages)
+    assert any('ENGINES lists "ghost"' in m for m in messages)
+    assert any('"turbo" has no golden-optima coverage' in m for m in messages)
+    assert any('"turbo" has no row' in m for m in messages)
+    assert any('documents engine "retired"' in m for m in messages)
+    assert len(found) == 5
+    # covered engines produce no findings
+    assert not any('"legacy"' in m or '"bits"' in m for m in messages)
+
+
+def test_rp004_fires_on_registry_drift_tree():
+    found = _findings(FIXTURES / "rp004_drift", "RP004")
+    messages = [f.message for f in found]
+    assert any('spec kind "mystery:"' in m for m in messages)
+    assert any('method "secret:method"' in m for m in messages)
+    assert len(found) == 2
+
+
+def test_rp005_fires_on_service_drift_tree():
+    found = _findings(FIXTURES / "rp005_drift", "RP005")
+    messages = [f.message for f in found]
+    assert any("418 is produced but has no _STATUS_PHRASES" in m
+               for m in messages)
+    assert any("418 can reach clients but is missing" in m for m in messages)
+    assert any("documents status 404" in m for m in messages)
+    assert len(found) == 3
+
+
+# --------------------------------------------------------------------- #
+# the repository itself is clean — the CI gate's contract
+# --------------------------------------------------------------------- #
+
+
+def test_repo_is_clean_under_all_rules():
+    index = RepoIndex(REPO_ROOT)
+    assert run_check(index) == []
+
+
+def test_fixture_trees_are_excluded_from_the_default_scan():
+    index = RepoIndex(REPO_ROOT)
+    assert index.module("tests/devtools/fixtures/rp001_packed.py") is None
+
+
+# --------------------------------------------------------------------- #
+# suppressions and rule selection
+# --------------------------------------------------------------------- #
+
+
+def test_noqa_requires_the_rule_id(tmp_path):
+    src = (
+        '"""devtools: packed-state"""\n'
+        "import numpy as np\n"
+        "a = np.zeros(3)  # noqa: RP001\n"
+        "b = np.zeros(3)  # noqa\n"
+        "c = np.zeros(3)  # noqa: RP006\n"
+    )
+    (tmp_path / "mod.py").write_text(src, encoding="utf-8")
+    found = _findings(tmp_path, "RP001", paths=["mod.py"])
+    # only the line with the matching id is suppressed
+    assert [f.line for f in found] == [4, 5]
+
+
+def test_select_and_ignore():
+    assert [r.id for r in select_rules(select=["rp001", "RP005"])] == [
+        "RP001", "RP005",
+    ]
+    assert "RP003" not in {r.id for r in select_rules(ignore=["RP003"])}
+    with pytest.raises(ValueError, match="unknown rule"):
+        select_rules(select=["RP999"])
+    with pytest.raises(ValueError, match="unknown rule"):
+        select_rules(ignore=["XX000"])
+
+
+def test_rule_catalogue_shape():
+    rules = all_rules()
+    assert [r.id for r in rules] == [
+        "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
+    ]
+    for r in rules:
+        assert r.severity in ("error", "warning")
+        assert r.scope in ("file", "repo")
+        assert r.description

@@ -1,69 +1,73 @@
 #!/usr/bin/env python
-"""HPC workload study: I/O cost of matrix multiplication and FFT DAGs.
+"""HPC workload study: I/O cost of real compute kernels vs cache size.
 
 Red-blue pebbling was invented (Hong & Kung 1981) to lower-bound the
-memory traffic of exactly these kernels.  This script pebbles the naive
-n x n matmul DAG and the 2^k-point FFT butterfly with our heuristics,
-sweeping the cache size R, and compares the measured transfer counts
-against the classic lower-bound curves:
+memory traffic of exactly these kernels.  This script is a thin wrapper
+over the registered kernel sweeps in :mod:`repro.experiments` — blocked
+matrix multiplication (``matmul-blocked``), 1-D convolution
+(``conv-sweep``) and attention (``attn-sweep``) — each pebbled by the
+``heur:portfolio`` method across cache sizes R.  Running a spec here
+replays exactly the grid CI gates (same content hashes, same registered
+assertion suites), then plots traffic against R.
 
-    matmul:  Q = Omega(n^3 / sqrt(R))        FFT:  Q = Omega(n log n / log R)
+The matmul cells also report the classic lower bound
 
-Absolute constants differ (the bounds are asymptotic; our pebbler is a
-heuristic upper bound), but the *shape* — how traffic falls as the cache
-grows — is the experiment.
+    matmul:  Q = Omega(n^3 / sqrt(R))
+
+via the portfolio's ``hong_kung_bound`` extra; the measured heuristic
+traffic must stay above it (minus the additive R slack the bound
+carries) — that is asserted by the spec's registered checks, not
+re-derived here.
 
 Run:  python examples/matmul_io_complexity.py
 """
 
-from repro import PebblingInstance, PebblingSimulator
-from repro.analysis import ascii_plot
-from repro.generators import butterfly_dag, matmul_dag
-from repro.heuristics import fixed_order_schedule
-from repro.solvers import fft_io_lower_bound, matmul_io_lower_bound
+from repro.analysis import ascii_plot, render_table
+from repro.experiments import Runner, get_spec, run_spec_checks
+
+SWEEPS = ("matmul-blocked", "conv-sweep", "attn-sweep")
 
 
-def measure(dag, r_values):
-    points = []
-    for r in r_values:
-        inst = PebblingInstance(dag=dag, model="oneshot", red_limit=r)
-        sched = fixed_order_schedule(inst)  # Belady eviction, topo order
-        cost = PebblingSimulator(inst).run(sched, require_complete=True).cost
-        points.append((r, float(cost)))
-    return points
+def reproduce(name):
+    """Run one registered sweep inline and replay its assertion suite."""
+    results = Runner(jobs=0).run(get_spec(name))
+    run_spec_checks(name, results)
+    return results
+
+
+def rows_from(results):
+    return [
+        {
+            "dag": r.dag,
+            "R": r.red_limit,
+            "measured Q": r.cost,
+            "winner": r.extra.get("winner", "-"),
+            "Hong-Kung": r.extra.get("hong_kung_bound", "-"),
+        }
+        for r in results
+    ]
+
+
+def series_from(results):
+    curves = {}
+    for r in results:
+        curves.setdefault(r.dag, []).append(
+            (r.red_limit, float(r.cost_fraction))
+        )
+    return curves
 
 
 def main() -> None:
-    # ---------------- matmul ----------------
-    n = 4
-    dag = matmul_dag(n)
-    r_values = [4, 6, 8, 12, 16, 24, 32]
-    measured = measure(dag, r_values)
-    bound = [(r, matmul_io_lower_bound(n, r)) for r in r_values]
-    print(f"matmul n={n}: DAG {dag.n_nodes} nodes, {dag.n_edges} edges")
-    print(f"{'R':>4} | {'measured Q':>11} | {'Omega(n^3/sqrt R)':>18}")
-    for (r, q), (_, lb) in zip(measured, bound):
-        print(f"{r:>4} | {q:>11.0f} | {lb:>18.1f}")
-    print()
-    print(ascii_plot({"measured": measured, "lower bound": bound},
-                     title=f"matmul n={n}: memory traffic vs cache size",
-                     x_label="R", y_label="transfers"))
-    print()
-
-    # ---------------- FFT ----------------
-    k = 5
-    fft = butterfly_dag(k)
-    n_fft = 1 << k
-    r_values = [4, 6, 8, 12, 16, 24]
-    measured = measure(fft, r_values)
-    bound = [(r, fft_io_lower_bound(n_fft, r)) for r in r_values]
-    print(f"FFT 2^{k} = {n_fft} points: DAG {fft.n_nodes} nodes")
-    print(f"{'R':>4} | {'measured Q':>11} | {'Omega(n log n / log R)':>22}")
-    for (r, q), (_, lb) in zip(measured, bound):
-        print(f"{r:>4} | {q:>11.0f} | {lb:>22.1f}")
-    print()
-    print("Both kernels show the textbook shape: traffic falls steeply with")
-    print("R and the heuristic stays above the Hong-Kung reference curve.")
+    for name in SWEEPS:
+        results = reproduce(name)
+        print(render_table(rows_from(results), title=f"spec {name}"))
+        print()
+        print(ascii_plot(series_from(results),
+                         title=f"{name}: memory traffic vs cache size",
+                         x_label="R", y_label="transfers"))
+        print()
+    print("All registered checks passed: traffic falls with R and the")
+    print("matmul cells stay above the Hong-Kung reference curve.")
 
 
 if __name__ == "__main__":

@@ -16,10 +16,12 @@ query      client for a running server (one cell per call)
 check      repo-aware static analysis (invariant linter, CI gate)
 
 Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
-``grid:RxC``, ``butterfly:K``, ``matmul:N``, ``tasks:WxC``,
+``grid:RxC``, ``butterfly:K``, ``matmul:N[:bB]``, ``conv:N:K[:cC]``,
+``attn:S[:hH]``, ``stencil:RxC[:tT]``, ``tasks:WxC``,
 ``layered:L1-...-Lk[:dD][:sS]``, ``tradeoff:DxN``, ``rand:N:P[:dD][:sS]``,
 the hardness constructions ``hampath:GRAPH`` / ``vc:GRAPH[:kK]`` /
-``ggrid:LxK`` / ``cd:R:H`` / ``h2c:R``, or ``@file.json``
+``ggrid:LxK`` / ``cd:R:H`` / ``h2c:R``, or ``@file.json`` /
+``@file.dot`` / ``@file.edges`` to import a DAG from disk
 (see :mod:`repro.generators.specs`, including the graph-spec grammar
 the reductions embed).
 

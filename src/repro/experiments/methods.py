@@ -18,6 +18,14 @@ name                     behaviour
                          / ``random[SEED]``
 ``beam:WIDTH``           beam search over computation orders
 ``local-search[:EVALS]`` greedy order + hill climbing
+``heur:portfolio[:W]``   the heuristics-only tier for instances where
+                         exact search is infeasible: runs every greedy
+                         rule plus the ``belady`` / ``min-uses`` eviction
+                         pebblers (and, with ``:W``, a width-W beam
+                         search), reports the best cost, each member's
+                         cost, and — for ``matmul:*`` / ``butterfly:*``
+                         DAG specs — the Hong-Kung reference lower bound
+                         in ``extra`` as the quality yardstick
 ``exact``                optimal cost via the bitmask search kernel
 ``exact:legacy``         optimal cost via the frozenset reference solver
                          (cross-checking / debugging the kernel)
@@ -565,6 +573,58 @@ def _run_appendix_c(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
     )
 
 
+def _hong_kung_reference(dag_spec: str, red_limit: int) -> Optional[float]:
+    """The Hong-Kung reference curve for ``dag_spec`` at R, if one applies.
+
+    ``matmul:N[...]`` maps to :func:`repro.solvers.bounds.matmul_io_lower_bound`
+    and ``butterfly:K`` (an FFT on 2^K inputs) to
+    :func:`repro.solvers.bounds.fft_io_lower_bound`; every other workload
+    has no registered curve and returns None.
+    """
+    from ..solvers.bounds import fft_io_lower_bound, matmul_io_lower_bound
+
+    kind, _, arg = dag_spec.partition(":")
+    try:
+        if kind == "matmul":
+            return matmul_io_lower_bound(int(arg.split(":")[0]), red_limit)
+        if kind == "butterfly":
+            return fft_io_lower_bound(1 << int(arg), red_limit)
+    except ValueError:
+        return None
+    return None
+
+
+def _run_heuristic_portfolio(beam_width: Optional[int]) -> MethodFn:
+    def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
+        from .. import heuristics
+
+        costs: Dict[str, Fraction] = {}
+        moves: Dict[str, int] = {}
+        for rule in _GREEDY_RULES:
+            result = heuristics.greedy_pebble(inst, rule)
+            costs[f"greedy:{rule}"] = result.cost
+            moves[f"greedy:{rule}"] = len(result.schedule)
+        for policy in ("belady", "min-uses"):
+            eviction = getattr(heuristics, _EVICTION[policy])()
+            sched = heuristics.fixed_order_schedule(inst, eviction=eviction)
+            res = PebblingSimulator(inst).run(sched, require_complete=True)
+            costs[f"fixed-order:{policy}"] = res.cost
+            moves[f"fixed-order:{policy}"] = len(sched)
+        if beam_width is not None:
+            beam = heuristics.beam_search_pebble(inst, beam_width=beam_width)
+            costs[f"beam:{beam_width}"] = beam.cost
+            moves[f"beam:{beam_width}"] = len(beam.schedule)
+        winner = min(costs, key=lambda k: (costs[k], k))
+        extra = {f"cost[{k}]": str(v) for k, v in costs.items()}
+        extra["winner"] = winner
+        reference = _hong_kung_reference(task.dag, inst.red_limit)
+        if reference is not None:
+            extra["hong_kung_bound"] = repr(reference)
+        return MethodOutcome(cost=costs[winner], n_moves=moves[winner], extra=extra)
+
+    return run
+
+
 def _run_sleep(seconds: float) -> MethodFn:
     def run(inst: PebblingInstance, task: TaskSpec) -> MethodOutcome:
         time.sleep(seconds)
@@ -589,6 +649,7 @@ _FIXED: Dict[str, MethodFn] = {
     "idastar": _run_idastar,
     "tradeoff-opt": _run_tradeoff_opt,
     "local-search": _run_local_search(2000),
+    "heur:portfolio": _run_heuristic_portfolio(None),
     "ml:exact": _run_multilevel("exact", None),
     "ml:topo": _run_multilevel("topo", None),
     # hardness workloads (Theorems 2-4, appendices, tables)
@@ -634,6 +695,15 @@ def resolve_method(name: str) -> MethodFn:
             return _run_exact(arg)
         if head == "greedy" and arg in _GREEDY_RULES:
             return _run_greedy(arg)
+        if head == "heur":
+            sub, sep2, width = arg.partition(":")
+            if sub == "portfolio" and sep2:
+                if not width.isdigit() or int(width) < 1:
+                    raise ValueError(
+                        f"malformed method {name!r}: heur:portfolio:W needs "
+                        f"a positive integer beam width"
+                    )
+                return _run_heuristic_portfolio(int(width))
         if head == "fixed-order":
             return _run_fixed_order(arg)
         if head == "beam":
@@ -655,6 +725,7 @@ def method_names() -> "list[str]":
         "exact:par:W",
         "fixed-order:belady|lru|min-uses|randomN",
         "beam:WIDTH",
+        "heur:portfolio:BEAMW",
         "local-search:EVALS",
         "ml:exact|topo:hier:CAPS:COSTS",
         "sleep:SECONDS",

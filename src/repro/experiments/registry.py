@@ -433,6 +433,70 @@ BUILTIN_SPECS = (
         methods=("exact", "greedy", "baseline"),
         tags=("paper", "bounds"),
     ),
+    # ------------------------------------------------------------------ #
+    # real-kernel workloads: the heuristics-only tier (exact search is
+    # infeasible at these sizes; Hong-Kung curves are the yardstick)
+    # ------------------------------------------------------------------ #
+    ExperimentSpec(
+        name="workloads-smoke",
+        description=(
+            "Real-kernel workloads for CI: the heuristic portfolio on "
+            "blocked matmul / conv / attention / stencil / FFT cells, "
+            "sanity-checked against the Hong-Kung lower bounds and a "
+            "tiny exact anchor"
+        ),
+        dags=(
+            "matmul:4:b2",
+            "conv:6:3:c2",
+            "attn:3:h2",
+            "stencil:3x3:t2#r8",
+            "butterfly:3",
+        ),
+        models=("oneshot",),
+        methods=("heur:portfolio", "baseline"),
+        red_limits=(4, 8),
+        cells=(
+            ("stencil:2x2:t1", "oneshot", "exact", 5),
+            ("stencil:2x2:t1", "oneshot", "heur:portfolio", 5),
+        ),
+        tags=("ci", "fast", "kernels"),
+    ),
+    ExperimentSpec(
+        name="matmul-blocked",
+        description=(
+            "Blocked vs naive matmul accumulation under the heuristic "
+            "portfolio across cache sizes (Hong-Kung curve as floor)"
+        ),
+        dags=("matmul:4", "matmul:4:b1", "matmul:4:b2"),
+        models=("oneshot",),
+        methods=("heur:portfolio",),
+        red_limits=(6, 9, 12),
+        tags=("kernels", "ablation"),
+    ),
+    ExperimentSpec(
+        name="conv-sweep",
+        description=(
+            "1-D convolution R-sweep under the heuristic portfolio "
+            "(sliding-window reuse vs cache size)"
+        ),
+        dags=("conv:8:3", "conv:6:3:c2"),
+        models=("oneshot",),
+        methods=("heur:portfolio",),
+        red_limits=(4, 6, 8),
+        tags=("kernels",),
+    ),
+    ExperimentSpec(
+        name="attn-sweep",
+        description=(
+            "Attention R-sweep under the heuristic portfolio (quadratic "
+            "score matrix pressure vs cache size, 1 and 2 heads)"
+        ),
+        dags=("attn:3", "attn:3:h2"),
+        models=("oneshot",),
+        methods=("heur:portfolio",),
+        red_limits=(4, 6, 8),
+        tags=("kernels",),
+    ),
     ExperimentSpec(
         name="hardness-smoke",
         description=(
@@ -774,6 +838,125 @@ def _check_parallel_smoke(results: List[RunResult]) -> None:
                 f"{exact.dag}/{exact.model}: {alt_method} returned "
                 f"{alt.cost}, scalar exact returned {exact.cost}"
             )
+
+
+def _portfolio_members(r: RunResult) -> Dict[str, Fraction]:
+    """The per-member costs a ``heur:portfolio`` cell reports in extra."""
+    return {
+        key[len("cost["):-1]: Fraction(val)
+        for key, val in r.extra.items()
+        if key.startswith("cost[") and key.endswith("]")
+    }
+
+
+def _check_portfolio_consistency(results: List[RunResult]) -> None:
+    """Reporting invariants of every ``heur:portfolio`` cell: the winner
+    exists, and the reported cost is the minimum over the members."""
+    for r in _cells(results, method="heur:portfolio"):
+        members = _portfolio_members(r)
+        assert members, f"{r.dag}/R={r.red_limit}: no member costs reported"
+        winner = r.extra["winner"]
+        assert winner in members, f"{r.dag}: winner {winner!r} not a member"
+        assert r.cost_fraction == min(members.values()), (
+            f"{r.dag}/R={r.red_limit}: portfolio cost {r.cost} is not the "
+            f"member minimum {min(members.values())}"
+        )
+        assert all(v >= r.cost_fraction for v in members.values())
+
+
+def _check_hong_kung_floor(results: List[RunResult]) -> None:
+    """Heuristic cost >= the Hong-Kung curve (matmul/FFT cells).
+
+    The same convention as ``benchmarks/bench_hong_kung.py``: the game's
+    measured traffic must clear ``bound - R`` (the curves' additive
+    constants differ from the simulator's counting by at most R).
+    """
+    from ..solvers.bounds import fft_io_lower_bound, matmul_io_lower_bound
+
+    checked = 0
+    for r in _cells(results, method="heur:portfolio"):
+        kind, _, arg = r.dag.partition(":")
+        if kind == "matmul":
+            bound = matmul_io_lower_bound(int(arg.split(":")[0]), r.red_limit)
+        elif kind == "butterfly":
+            bound = fft_io_lower_bound(1 << int(arg), r.red_limit)
+        else:
+            continue
+        checked += 1
+        assert "hong_kung_bound" in r.extra, f"{r.dag}: no yardstick reported"
+        assert float(r.extra["hong_kung_bound"]) == bound
+        assert float(r.cost_fraction) >= bound - r.red_limit, (
+            f"{r.dag}/R={r.red_limit}: heuristic cost {r.cost} below the "
+            f"Hong-Kung floor {bound} - R"
+        )
+    assert checked, "no matmul/butterfly cells to hold against the curve"
+
+
+def _sweep_costs(results: List[RunResult], dag: str) -> List[Fraction]:
+    """Portfolio costs for ``dag`` in ascending red-limit order."""
+    rows = sorted(
+        _cells(results, method="heur:portfolio", dag=dag),
+        key=lambda r: r.red_limit,
+    )
+    assert len(rows) >= 2, f"{dag}: expected an R sweep, got {len(rows)} cell(s)"
+    return [r.cost_fraction for r in rows]
+
+
+def _assert_relieved_by_cache(results: List[RunResult], dag: str) -> None:
+    """More red pebbles never hurt the portfolio (its belady member is
+    Belady-optimal for the fixed order, hence monotone in R)."""
+    costs = _sweep_costs(results, dag)
+    assert costs == sorted(costs, reverse=True), (
+        f"{dag}: portfolio cost not non-increasing in R: {costs}"
+    )
+
+
+@register_check("workloads-smoke")
+def _check_workloads_smoke(results: List[RunResult]) -> None:
+    _assert_all_ok(results)
+    _check_portfolio_consistency(results)
+    _check_hong_kung_floor(results)
+    # the portfolio never loses to the naive topological baseline
+    for r in _cells(results, method="heur:portfolio"):
+        base = _cells(
+            results, method="baseline", dag=r.dag, red_limit=r.red_limit
+        )
+        if base:
+            assert r.cost_fraction <= base[0].cost_fraction, (
+                f"{r.dag}/R={r.red_limit}: portfolio {r.cost} loses to "
+                f"baseline {base[0].cost}"
+            )
+    # tiny exact anchor: heuristics are upper bounds on the optimum
+    exact = _cell(results, method="exact", dag="stencil:2x2:t1")
+    anchored = _cell(results, method="heur:portfolio", dag="stencil:2x2:t1")
+    assert anchored.cost_fraction >= exact.cost_fraction, (
+        f"portfolio {anchored.cost} beats the exact optimum {exact.cost}"
+    )
+
+
+@register_check("matmul-blocked")
+def _check_matmul_blocked(results: List[RunResult]) -> None:
+    _assert_all_ok(results)
+    _check_portfolio_consistency(results)
+    _check_hong_kung_floor(results)
+    for dag in ("matmul:4", "matmul:4:b1", "matmul:4:b2"):
+        _assert_relieved_by_cache(results, dag)
+
+
+@register_check("conv-sweep")
+def _check_conv_sweep(results: List[RunResult]) -> None:
+    _assert_all_ok(results)
+    _check_portfolio_consistency(results)
+    for dag in ("conv:8:3", "conv:6:3:c2"):
+        _assert_relieved_by_cache(results, dag)
+
+
+@register_check("attn-sweep")
+def _check_attn_sweep(results: List[RunResult]) -> None:
+    _assert_all_ok(results)
+    _check_portfolio_consistency(results)
+    for dag in ("attn:3", "attn:3:h2"):
+        _assert_relieved_by_cache(results, dag)
 
 
 @register_check("hardness-smoke")

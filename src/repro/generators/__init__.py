@@ -1,12 +1,16 @@
 """Workload generators: classic HPC DAGs, random DAGs, reduction inputs."""
 
 from .classic import (
+    attention_dag,
     binary_tree_dag,
+    blocked_matmul_dag,
     butterfly_dag,
     chain_dag,
+    conv_dag,
     grid_stencil_dag,
     independent_tasks_dag,
     matmul_dag,
+    multistep_stencil_dag,
     pyramid_dag,
 )
 from .graphs import (
@@ -33,6 +37,10 @@ __all__ = [
     "grid_stencil_dag",
     "butterfly_dag",
     "matmul_dag",
+    "blocked_matmul_dag",
+    "conv_dag",
+    "attention_dag",
+    "multistep_stencil_dag",
     "independent_tasks_dag",
     "layered_random_dag",
     "random_dag",

@@ -2,13 +2,15 @@
 
 These are the workloads red-blue pebbling was invented to model (Hong &
 Kung 1981): pyramids, trees, butterflies (FFT), grid stencils, and the
-naive matrix-multiplication DAG.  Node labels are descriptive tuples so
-that schedules remain readable, e.g. ``("pyr", row, col)``.
+naive matrix-multiplication DAG — plus the real-kernel family (blocked
+matmul, 1-D convolution, attention, multi-step stencils) that the
+heuristics-only experiment tier sweeps.  Node labels are descriptive
+tuples so that schedules remain readable, e.g. ``("pyr", row, col)``.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.dag import ComputationDAG
 
@@ -19,6 +21,10 @@ __all__ = [
     "grid_stencil_dag",
     "butterfly_dag",
     "matmul_dag",
+    "blocked_matmul_dag",
+    "conv_dag",
+    "attention_dag",
+    "multistep_stencil_dag",
     "independent_tasks_dag",
 ]
 
@@ -122,7 +128,6 @@ def butterfly_dag(k: int) -> ComputationDAG:
             nodes.append(v)
             edges.append((("b", level, i), v))
             edges.append((("b", level, i ^ (1 << level)), v))
-    # nodes list may contain duplicates across i loop? no: (level+1, i) unique
     return ComputationDAG(edges=edges, nodes=nodes)
 
 
@@ -157,6 +162,206 @@ def matmul_dag(n: int) -> ComputationDAG:
                     edges.append((prev, s))
                     edges.append((p, s))
                     prev = s
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def blocked_matmul_dag(n: int, block: int) -> ComputationDAG:
+    """The blocked n x n matrix-multiplication DAG with k-blocks of ``block``.
+
+    Same inputs and products as :func:`matmul_dag`, but each output C[i,j]
+    is accumulated in two stages, mirroring a cache-blocked kernel: the
+    products of one k-block are summed locally (S[i,j,k] chains of length
+    ``block``), then the per-block results are combined by a chain of
+    C[i,j,b] nodes.  ``block`` must divide ``n``; ``block == n`` recovers
+    the naive accumulation structure of :func:`matmul_dag`.  Indegree <= 2,
+    so Hong & Kung's Omega(n^3 / sqrt(R)) bound still applies — the
+    blocking only changes which schedules are *cheap*, not the bound.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if block < 1 or n % block:
+        raise ValueError(f"block must be >= 1 and divide n, got block={block} n={n}")
+    edges: List[Tuple[object, object]] = []
+    nodes: List[object] = []
+    for i in range(n):
+        for k in range(n):
+            nodes.append(("A", i, k))
+            nodes.append(("B", k, i))
+    for i in range(n):
+        for j in range(n):
+            block_sums = []
+            for k0 in range(0, n, block):
+                prev: Optional[Tuple[object, ...]] = None
+                for k in range(k0, k0 + block):
+                    p = ("P", i, j, k)
+                    nodes.append(p)
+                    edges.append((("A", i, k), p))
+                    edges.append((("B", k, j), p))
+                    if prev is None:
+                        prev = p
+                    else:
+                        s = ("S", i, j, k)
+                        nodes.append(s)
+                        edges.append((prev, s))
+                        edges.append((p, s))
+                        prev = s
+                block_sums.append(prev)
+            acc = block_sums[0]
+            for b, part in enumerate(block_sums[1:], start=1):
+                c = ("C", i, j, b)
+                nodes.append(c)
+                edges.append((acc, c))
+                edges.append((part, c))
+                acc = c
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def conv_dag(n: int, k: int, channels: int = 1) -> ComputationDAG:
+    """A 1-D "valid" convolution: ``channels`` input channels of length
+    ``n``, kernel width ``k``, summed across channels.
+
+    Inputs x[c,i] and weights w[c,t]; products p[c,i,t] = x[c,i+t]*w[c,t];
+    per-channel accumulation chains s[c,i,t]; cross-channel combine chain
+    y[i,c].  The sliding window reuses each x[c,i] up to ``k`` times and
+    each w[c,t] across all ``n - k + 1`` output positions, which is the
+    data reuse pattern blocking exploits.  Indegree <= 2.
+    """
+    if n < 1 or k < 1 or k > n:
+        raise ValueError(f"need 1 <= k <= n, got n={n} k={k}")
+    if channels < 1:
+        raise ValueError("channels must be >= 1")
+    edges: List[Tuple[object, object]] = []
+    nodes: List[object] = []
+    for c in range(channels):
+        for i in range(n):
+            nodes.append(("x", c, i))
+        for t in range(k):
+            nodes.append(("w", c, t))
+    for i in range(n - k + 1):
+        channel_sums = []
+        for c in range(channels):
+            prev: Optional[Tuple[object, ...]] = None
+            for t in range(k):
+                p = ("p", c, i, t)
+                nodes.append(p)
+                edges.append((("x", c, i + t), p))
+                edges.append((("w", c, t), p))
+                if prev is None:
+                    prev = p
+                else:
+                    s = ("s", c, i, t)
+                    nodes.append(s)
+                    edges.append((prev, s))
+                    edges.append((p, s))
+                    prev = s
+            channel_sums.append(prev)
+        acc = channel_sums[0]
+        for c, part in enumerate(channel_sums[1:], start=1):
+            y = ("y", i, c)
+            nodes.append(y)
+            edges.append((acc, y))
+            edges.append((part, y))
+            acc = y
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def attention_dag(s: int, heads: int = 1) -> ComputationDAG:
+    """The scaled-dot-product attention dataflow over ``s`` positions.
+
+    Per head h: inputs q[h,i], k[h,j], v[h,j]; scores e[h,i,j] (indegree
+    2); a per-row normalizer chain z[h,i,j] summing the row's scores;
+    normalized weights a[h,i,j] from e and the row normalizer; weighted
+    values av[h,i,j] from a and v; and an output accumulation chain
+    o[h,i,j].  Multiple heads are combined per position by an out[i,h]
+    chain.  Every node has indegree <= 2; ~5*s^2 nodes per head, so
+    ``attn:S`` scales quadratically — the heuristics-only tier's
+    territory once exact search is infeasible.
+    """
+    if s < 1:
+        raise ValueError("s must be >= 1")
+    if heads < 1:
+        raise ValueError("heads must be >= 1")
+    edges: List[Tuple[object, object]] = []
+    nodes: List[object] = []
+    head_outputs: List[List[object]] = []
+    for h in range(heads):
+        for i in range(s):
+            nodes.append(("q", h, i))
+            nodes.append(("k", h, i))
+            nodes.append(("v", h, i))
+        outputs: List[object] = []
+        for i in range(s):
+            for j in range(s):
+                e = ("e", h, i, j)
+                nodes.append(e)
+                edges.append((("q", h, i), e))
+                edges.append((("k", h, j), e))
+            norm: object = ("e", h, i, 0)
+            for j in range(1, s):
+                z = ("z", h, i, j)
+                nodes.append(z)
+                edges.append((norm, z))
+                edges.append((("e", h, i, j), z))
+                norm = z
+            acc: Optional[object] = None
+            for j in range(s):
+                a = ("a", h, i, j)
+                nodes.append(a)
+                edges.append((("e", h, i, j), a))
+                edges.append((norm, a))
+                av = ("av", h, i, j)
+                nodes.append(av)
+                edges.append((a, av))
+                edges.append((("v", h, j), av))
+                if acc is None:
+                    acc = av
+                else:
+                    o = ("o", h, i, j)
+                    nodes.append(o)
+                    edges.append((acc, o))
+                    edges.append((av, o))
+                    acc = o
+            outputs.append(acc)
+        head_outputs.append(outputs)
+    if heads > 1:
+        for i in range(s):
+            acc2 = head_outputs[0][i]
+            for h in range(1, heads):
+                out = ("out", i, h)
+                nodes.append(out)
+                edges.append((acc2, out))
+                edges.append((head_outputs[h][i], out))
+                acc2 = out
+    return ComputationDAG(edges=edges, nodes=nodes)
+
+
+def multistep_stencil_dag(rows: int, cols: int, steps: int = 1) -> ComputationDAG:
+    """A time-iterated 5-point stencil on a ``rows x cols`` grid.
+
+    Layer 0 holds the inputs; node ("st", t, i, j) of layer t >= 1 depends
+    on the previous layer's value at (i, j) and its von Neumann
+    neighborhood (clipped at the boundary), so indegree <= 5.  This is
+    the dataflow of iterated Jacobi/heat-equation sweeps, the standard
+    motivation for temporal blocking in the I/O-complexity literature.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    edges: List[Tuple[object, object]] = []
+    nodes: List[object] = []
+    for i in range(rows):
+        for j in range(cols):
+            nodes.append(("st", 0, i, j))
+    for t in range(1, steps + 1):
+        for i in range(rows):
+            for j in range(cols):
+                v = ("st", t, i, j)
+                nodes.append(v)
+                for di, dj in ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)):
+                    pi, pj = i + di, j + dj
+                    if 0 <= pi < rows and 0 <= pj < cols:
+                        edges.append((("st", t - 1, pi, pj), v))
     return ComputationDAG(edges=edges, nodes=nodes)
 
 

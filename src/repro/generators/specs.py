@@ -13,7 +13,15 @@ Supported specs
 ``tree:LEAVES``          binary reduction tree
 ``grid:RxC``             wavefront stencil grid
 ``butterfly:K``          FFT butterfly on 2^K inputs
-``matmul:N``             naive N x N matrix multiplication
+``matmul:N[:bB]``        N x N matrix multiplication; naive accumulation
+                         by default, k-blocked with block size B
+                         (``matmul:8:b2``; B must divide N)
+``conv:N:K[:cC]``        1-D "valid" convolution, input length N, kernel
+                         width K, C channels (default 1)
+``attn:S[:hH]``          scaled-dot-product attention over S positions
+                         with H heads (default 1)
+``stencil:RxC[:tT]``     T-step 5-point stencil on an R x C grid
+                         (default ``t1``)
 ``tasks:WxC``            W independent chains of C nodes
 ``layered:L1-...-Lk``    layered random DAG; optional ``:dD`` (indegree)
                          and ``:sS`` (seed) suffixes, e.g.
@@ -22,7 +30,13 @@ Supported specs
                          chain of length N)
 ``rand:N:P[:dD][:sS]``   Erdős–Rényi-style random DAG, indegree cap D,
                          seed S
-``@path.json``           DAG loaded from a JSON file
+``@path``                DAG loaded from a file; the suffix picks the
+                         format — ``@f.dot`` (Graphviz subset,
+                         :func:`repro.io.from_dot`), ``@f.edges``
+                         (line-oriented JSON edge list,
+                         :mod:`repro.io.edgelist`), anything else JSON
+                         (``@f.json``).  Missing or malformed files
+                         raise the same ``ValueError`` as a bad spec
 
 Hardness-workload specs (the Theorems 2-4 constructions; the embedded
 ``GRAPH`` argument is a *graph spec*, see below)
@@ -83,6 +97,11 @@ All three parsers are pure string-to-object functions:
 10
 >>> dag_from_spec("chain:5").min_red_pebbles
 2
+>>> dag_from_spec("stencil:2x2:t2").n_nodes
+12
+>>> # blocking reorders the accumulation tree; it never adds work
+>>> dag_from_spec("matmul:4:b2").n_nodes == dag_from_spec("matmul:4").n_nodes
+True
 >>> graph_from_spec("cycle:4").m
 4
 >>> hierarchy_from_spec("hier:4,16:1,8").capacities
@@ -106,13 +125,18 @@ from __future__ import annotations
 from fractions import Fraction
 
 from ..core.dag import ComputationDAG
+from ..core.errors import PebblingError
 from .classic import (
+    attention_dag,
     binary_tree_dag,
+    blocked_matmul_dag,
     butterfly_dag,
     chain_dag,
+    conv_dag,
     grid_stencil_dag,
     independent_tasks_dag,
     matmul_dag,
+    multistep_stencil_dag,
     pyramid_dag,
 )
 from .graphs import (
@@ -202,13 +226,44 @@ def split_vc_spec(arg: str) -> "tuple[str, int | None]":
     return arg, None
 
 
+def _dag_from_file(spec: str) -> ComputationDAG:
+    """Load an ``@path`` DAG spec, dispatching on the file suffix.
+
+    Every failure mode — unreadable file, malformed content, or content
+    that is not a DAG — is reported as the grammar's uniform
+    ``ValueError("bad DAG spec ...")``, which is what lets the service
+    layer map it to HTTP 400 instead of a 502.
+    """
+    path = spec[1:]
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ValueError(f"bad DAG spec {spec!r}: {exc}") from None
+    try:
+        if path.endswith(".dot"):
+            from ..io.dot import from_dot
+
+            return from_dot(text)
+        if path.endswith(".edges"):
+            from ..io.edgelist import dag_from_edgelist
+
+            return dag_from_edgelist(text)
+        from ..io.serialization import dag_from_json
+
+        return dag_from_json(text)
+    except PebblingError as exc:  # CycleError/GraphError from construction
+        raise ValueError(f"bad DAG spec {spec!r}: {exc}") from None
+    except (ValueError, KeyError, TypeError) as exc:
+        # ValueError covers json.JSONDecodeError and the importers' own
+        # diagnostics; KeyError/TypeError cover structurally wrong JSON
+        raise ValueError(f"bad DAG spec {spec!r}: {exc}") from None
+
+
 def dag_from_spec(spec: str) -> ComputationDAG:
     """Build the DAG named by ``spec`` (see module docstring for grammar)."""
     if spec.startswith("@"):
-        from ..io.serialization import dag_from_json
-
-        with open(spec[1:], "r", encoding="utf-8") as fh:
-            return dag_from_json(fh.read())
+        return _dag_from_file(spec)
     kind, _, arg = spec.partition(":")
     try:
         if kind == "pyramid":
@@ -223,7 +278,26 @@ def dag_from_spec(spec: str) -> ComputationDAG:
         if kind == "butterfly":
             return butterfly_dag(int(arg))
         if kind == "matmul":
-            return matmul_dag(int(arg))
+            parts = arg.split(":")
+            opts = _options(parts[1:], spec, b=int)
+            if "b" in opts:
+                return blocked_matmul_dag(int(parts[0]), opts["b"])
+            return matmul_dag(int(parts[0]))
+        if kind == "conv":
+            parts = arg.split(":")
+            if len(parts) < 2:
+                raise ValueError("conv needs conv:N:K[:cC]")
+            opts = _options(parts[2:], spec, c=int)
+            return conv_dag(int(parts[0]), int(parts[1]), channels=opts.get("c", 1))
+        if kind == "attn":
+            parts = arg.split(":")
+            opts = _options(parts[1:], spec, h=int)
+            return attention_dag(int(parts[0]), heads=opts.get("h", 1))
+        if kind == "stencil":
+            parts = arg.split(":")
+            r, c = _pair(parts[0], spec)
+            opts = _options(parts[1:], spec, t=int)
+            return multistep_stencil_dag(r, c, steps=opts.get("t", 1))
         if kind == "tasks":
             w, c = _pair(arg, spec)
             return independent_tasks_dag(w, c)

@@ -1,6 +1,8 @@
-"""Serialization: JSON/CSV round-trips and Graphviz DOT export."""
+"""Serialization: JSON/CSV round-trips, edge-list files, and Graphviz DOT
+export/import."""
 
-from .dot import to_dot
+from .dot import from_dot, to_dot
+from .edgelist import dag_from_edgelist, dag_to_edgelist
 from .serialization import (
     dag_from_json,
     dag_to_json,
@@ -17,6 +19,8 @@ from .serialization import (
 __all__ = [
     "dag_to_json",
     "dag_from_json",
+    "dag_to_edgelist",
+    "dag_from_edgelist",
     "schedule_to_json",
     "schedule_from_json",
     "instance_to_json",
@@ -26,4 +30,5 @@ __all__ = [
     "run_results_to_csv",
     "run_results_from_csv",
     "to_dot",
+    "from_dot",
 ]

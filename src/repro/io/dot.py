@@ -1,17 +1,29 @@
-"""Graphviz DOT export, optionally colouring a pebbling state."""
+"""Graphviz DOT export/import, optionally colouring a pebbling state.
+
+:func:`to_dot` renders a DAG (labels via ``str``) and :func:`from_dot`
+parses exactly the subset ``to_dot`` emits, inverting the label
+stringification for the tuple/int labels the generators use.  The
+round-trip ``from_dot(to_dot(dag))`` is exact for labels that are ints,
+bools, None, nested tuples of those and strings, or strings that do not
+themselves read as a Python non-string literal (an unavoidable ambiguity
+of ``str``: the string ``"5"`` and the int ``5`` print identically).
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+import ast
+from typing import List, Optional, Tuple
 
-from ..core.dag import ComputationDAG
+from ..core.dag import ComputationDAG, Node
+from ..core.errors import GraphError
 from ..core.state import PebblingState
 
-__all__ = ["to_dot"]
+__all__ = ["to_dot", "from_dot"]
 
 
 def _quote(v: object) -> str:
-    return '"' + str(v).replace('"', r"\"") + '"'
+    text = str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{text}"'
 
 
 def to_dot(
@@ -39,3 +51,114 @@ def to_dot(
         lines.append(f"  {_quote(u)} -> {_quote(v)};")
     lines.append("}")
     return "\n".join(lines)
+
+
+def _scan_quoted(text: str, lineno: int) -> "tuple[str, str]":
+    """Consume a leading double-quoted string; return (content, rest)."""
+    if not text.startswith('"'):
+        raise ValueError(f"line {lineno}: expected a quoted label in {text!r}")
+    out: List[str] = []
+    i = 1
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise ValueError(f"line {lineno}: trailing backslash in {text!r}")
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                # graphviz keeps the backslash of unknown escapes verbatim
+                out.append("\\" + nxt)
+            i += 2
+        elif ch == '"':
+            return "".join(out), text[i + 1 :].lstrip()
+        else:
+            out.append(ch)
+            i += 1
+    raise ValueError(f"line {lineno}: unterminated quoted label in {text!r}")
+
+
+def _valid_label(v: object) -> bool:
+    if isinstance(v, tuple):
+        return all(_valid_label(x) for x in v)
+    return isinstance(v, (str, int, bool)) or v is None
+
+
+def _parse_label(raw: str) -> Node:
+    """Invert ``str(label)``: tuples/ints/bools/None parse back to their
+    Python value, anything else stays the raw string."""
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError, MemoryError, RecursionError):
+        return raw
+    if isinstance(value, str) or not _valid_label(value):
+        return raw
+    return value
+
+
+def from_dot(text: str) -> ComputationDAG:
+    """Parse the DOT subset emitted by :func:`to_dot` back into a DAG.
+
+    Accepts the exporter's shape only: one ``digraph ... {`` header,
+    quoted node statements (attributes ignored), quoted ``->`` edge
+    statements, and a closing ``}``.  Malformed statements, duplicate
+    node declarations, edges naming undeclared nodes, and graphs that are
+    not DAGs (cycles, self-loops, duplicate edges) all raise
+    :class:`ValueError`.
+    """
+    nodes: List[Node] = []
+    seen: set = set()
+    edges: List[Tuple[Node, Node]] = []
+    in_body = False
+    closed = False
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("//") or line.startswith("#"):
+            continue
+        if not in_body:
+            if line.startswith("digraph") and line.endswith("{"):
+                in_body = True
+                continue
+            raise ValueError(
+                f"line {lineno}: expected 'digraph NAME {{', got {line!r}"
+            )
+        if closed:
+            raise ValueError(f"line {lineno}: statement after closing '}}'")
+        if line == "}":
+            closed = True
+            continue
+        if line.startswith('"'):
+            label, rest = _scan_quoted(line, lineno)
+            if rest.startswith("->"):
+                dst_label, tail = _scan_quoted(rest[2:].lstrip(), lineno)
+                if tail != ";":
+                    raise ValueError(f"line {lineno}: malformed edge {line!r}")
+                edges.append((_parse_label(label), _parse_label(dst_label)))
+            else:
+                if rest != ";" and not (rest.startswith("[") and rest.endswith("];")):
+                    raise ValueError(f"line {lineno}: malformed node {line!r}")
+                v = _parse_label(label)
+                if v in seen:
+                    raise ValueError(f"line {lineno}: duplicate node {v!r}")
+                seen.add(v)
+                nodes.append(v)
+            continue
+        if line[0].isalpha() and "->" not in line and line.endswith(";"):
+            continue  # graph attributes the exporter emits (rankdir, node [...])
+        raise ValueError(f"line {lineno}: cannot parse {line!r}")
+    if not in_body:
+        raise ValueError("not a DOT digraph (no 'digraph NAME {' header)")
+    if not closed:
+        raise ValueError("missing closing '}'")
+    for u, v in edges:
+        if u not in seen:
+            raise ValueError(f"edge ({u!r}, {v!r}) references undeclared node {u!r}")
+        if v not in seen:
+            raise ValueError(f"edge ({u!r}, {v!r}) references undeclared node {v!r}")
+    try:
+        return ComputationDAG(edges=edges, nodes=nodes)
+    except GraphError as exc:  # cycles, self-loops, duplicate edges
+        raise ValueError(str(exc)) from None

@@ -1,0 +1,98 @@
+"""Line-oriented JSON edge-list format for computation DAGs.
+
+A deliberately diff-friendly exchange format for external DAGs: one JSON
+array per line, so files stream, sort, and merge line by line — the
+right shape for the 10^4-10^6-node kernels the heuristics tier targets.
+
+::
+
+    #! repro-pebble/edgelist/v1
+    # one-element line: declare a node; two-element line: an edge u -> v
+    ["a"]
+    ["a", "b"]
+    [{"t": ["g", 0, 0]}, {"t": ["g", 0, 1]}]
+
+Node labels use the same ``{"t": [...]}`` tuple encoding as the JSON
+serializer (:mod:`repro.io.serialization`), so the two formats agree on
+what a label is.  Blank lines and ``#`` comments are ignored.  Every
+node must be declared exactly once (anywhere in the file); edges naming
+undeclared nodes, duplicate declarations, malformed lines, and non-DAG
+inputs (cycles, self-loops, duplicate edges) raise :class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Tuple
+
+from ..core.dag import ComputationDAG, Node
+from ..core.errors import GraphError
+from .serialization import _decode_node, _encode_node
+
+__all__ = ["dag_to_edgelist", "dag_from_edgelist", "EDGELIST_HEADER"]
+
+#: first line written by :func:`dag_to_edgelist` (a comment, so parsers
+#: that ignore ``#`` lines need no special case)
+EDGELIST_HEADER = "#! repro-pebble/edgelist/v1"
+
+
+def dag_to_edgelist(dag: ComputationDAG) -> str:
+    """Serialize ``dag`` as the line-oriented edge-list format.
+
+    Every node is declared on its own line (in topological order) before
+    any edge, so :func:`dag_from_edgelist` round-trips exactly and
+    isolated nodes survive.
+    """
+    lines = [EDGELIST_HEADER]
+    for v in dag.nodes:
+        lines.append(json.dumps([_encode_node(v)]))
+    for u, v in dag.edges():
+        lines.append(json.dumps([_encode_node(u), _encode_node(v)]))
+    return "\n".join(lines) + "\n"
+
+
+def dag_from_edgelist(text: str) -> ComputationDAG:
+    """Parse the edge-list format back into a :class:`ComputationDAG`.
+
+    All malformed inputs — bad JSON, wrong arity, unknown label
+    encodings, duplicate node declarations, and graphs that are not DAGs
+    — raise :class:`ValueError` with the offending line number.
+    """
+    nodes: List[Node] = []
+    declared: set = set()
+    edges: List[Tuple[Node, Node]] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise ValueError(f"line {lineno}: not valid JSON: {line!r}") from None
+        if not isinstance(record, list) or len(record) not in (1, 2):
+            raise ValueError(
+                f"line {lineno}: expected a 1-element (node) or 2-element "
+                f"(edge) JSON array, got {line!r}"
+            )
+        try:
+            labels = [_decode_node(x) for x in record]
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from None
+        if len(labels) == 1:
+            (v,) = labels
+            if v in declared:
+                raise ValueError(f"line {lineno}: duplicate node {v!r}")
+            declared.add(v)
+            nodes.append(v)
+        else:
+            edges.append((labels[0], labels[1]))
+    for u, v in edges:
+        for end in (u, v):
+            if end not in declared:
+                raise ValueError(
+                    f"edge ({u!r}, {v!r}) references undeclared node {end!r}"
+                )
+    try:
+        return ComputationDAG(edges=edges, nodes=nodes)
+    except GraphError as exc:  # cycles, self-loops, duplicate edges
+        raise ValueError(str(exc)) from None

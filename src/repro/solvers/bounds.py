@@ -167,6 +167,12 @@ def matmul_io_lower_bound(n: int, red_limit: int) -> float:
     here as a reference curve (our simulator plays the game on the
     :func:`repro.generators.classic.matmul_dag` DAG, which matches the
     model the bound is stated for up to constant factors).
+
+    Edge-case convention (shared with :func:`fft_io_lower_bound`):
+    parameters that describe no problem at all (``n < 1`` or
+    ``red_limit < 1``) raise :class:`ValueError`; degenerate but valid
+    sizes where the formula goes non-positive clamp to ``0.0`` — a
+    vacuous bound, not an invalid call.
     """
     if n < 1 or red_limit < 1:
         raise ValueError("n and red_limit must be >= 1")
@@ -180,7 +186,12 @@ def fft_io_lower_bound(n: int, red_limit: int) -> float:
 
     The Omega(n log n / log R) law of Hong & Kung (1981), again used as a
     reference curve with their constant convention.
+
+    Edge-case convention (shared with :func:`matmul_io_lower_bound`):
+    ``n < 1`` or ``red_limit < 1`` raise :class:`ValueError`; the
+    degenerate single-input transform (``n == 1``, where ``log2(n)`` is
+    zero) clamps to the vacuous bound ``0.0``.
     """
-    if n < 2 or red_limit < 1:
-        raise ValueError("n must be >= 2 and red_limit >= 1")
-    return n * math.log2(n) / (2 * math.log2(2 * red_limit))
+    if n < 1 or red_limit < 1:
+        raise ValueError("n and red_limit must be >= 1")
+    return max(0.0, n * math.log2(n) / (2 * math.log2(2 * red_limit)))

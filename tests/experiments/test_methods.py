@@ -23,6 +23,7 @@ class TestResolution:
         "beam:4", "local-search:100", "sleep:0.01",
         "ml:exact", "ml:topo",
         "ml:exact:hier:3,6:1,4", "ml:topo:hier:4,16:1,8",
+        "heur:portfolio", "heur:portfolio:4",
     ])
     def test_known_names_resolve(self, name):
         assert callable(resolve_method(name))
@@ -31,6 +32,7 @@ class TestResolution:
         "warp-drive", "greedy:bogus-rule", "fixed-order:bogus",
         "ml:bogus", "ml:exact:pyramid:3",
         "ml:exact:hier:3,6:1",  # malformed hierarchy must fail at resolve time
+        "heur:bogus", "heur:portfolio:0", "heur:portfolio:x",
     ])
     def test_unknown_names_raise(self, name):
         with pytest.raises(ValueError):
@@ -63,6 +65,41 @@ class TestOutcomes:
         inst, task = make(dag="pyramid:3", method="tradeoff-opt")
         with pytest.raises(ValueError):
             resolve_method("tradeoff-opt")(inst, task)
+
+
+class TestHeuristicPortfolio:
+    def test_at_least_as_good_as_every_member(self):
+        inst, task = make(method="heur:portfolio")
+        outcome = resolve_method("heur:portfolio")(inst, task)
+        members = {
+            k[len("cost["):-1]: Fraction(v)
+            for k, v in outcome.extra.items()
+            if k.startswith("cost[")
+        }
+        assert members, "portfolio must report per-member costs"
+        assert outcome.cost == min(members.values())
+        assert outcome.extra["winner"] in members
+
+    def test_never_beats_exact(self):
+        inst, task = make(method="heur:portfolio")
+        exact = resolve_method("exact")(inst, task).cost
+        assert resolve_method("heur:portfolio")(inst, task).cost >= exact
+
+    def test_beam_width_adds_a_member(self):
+        inst, task = make(method="heur:portfolio:4")
+        outcome = resolve_method("heur:portfolio:4")(inst, task)
+        assert "cost[beam:4]" in outcome.extra
+
+    def test_hong_kung_bound_reported_on_matmul(self):
+        inst, task = make(dag="matmul:2", red=4, method="heur:portfolio")
+        outcome = resolve_method("heur:portfolio")(inst, task)
+        assert "hong_kung_bound" in outcome.extra
+        assert float(outcome.cost) >= float(outcome.extra["hong_kung_bound"]) - 4
+
+    def test_no_bound_on_unrecognised_dags(self):
+        inst, task = make(dag="pyramid:3", method="heur:portfolio")
+        outcome = resolve_method("heur:portfolio")(inst, task)
+        assert "hong_kung_bound" not in outcome.extra
 
 
 class TestMultilevelMethods:

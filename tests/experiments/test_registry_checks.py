@@ -29,6 +29,10 @@ FAST_CHECKED_SPECS = [
     "lemma1-length",
     "table1-models",
     "table2-properties",
+    "workloads-smoke",
+    "matmul-blocked",
+    "conv-sweep",
+    "attn-sweep",
 ]
 
 

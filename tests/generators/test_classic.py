@@ -3,12 +3,16 @@
 import pytest
 
 from repro.generators import (
+    attention_dag,
     binary_tree_dag,
+    blocked_matmul_dag,
     butterfly_dag,
     chain_dag,
+    conv_dag,
     grid_stencil_dag,
     independent_tasks_dag,
     matmul_dag,
+    multistep_stencil_dag,
     pyramid_dag,
 )
 
@@ -137,6 +141,126 @@ class TestMatmul:
     def test_n1_has_products_only(self):
         dag = matmul_dag(1)
         assert dag.sinks == {("P", 0, 0, 0)}
+
+
+class TestBlockedMatmul:
+    def test_blocking_never_changes_the_work(self):
+        # summing n products always takes n - 1 additions, whatever the
+        # tree shape: node and edge counts match the naive DAG
+        naive = matmul_dag(4)
+        for block in (1, 2, 4):
+            blocked = blocked_matmul_dag(4, block)
+            assert blocked.n_nodes == naive.n_nodes
+            assert blocked.n_edges == naive.n_edges
+            assert blocked.max_indegree == 2
+
+    def test_full_block_is_the_naive_structure(self):
+        naive = matmul_dag(3)
+        full = blocked_matmul_dag(3, 3)
+        assert set(full.nodes) == set(naive.nodes)
+        assert set(full.edges()) == set(naive.edges())
+
+    def test_partial_blocks_add_combine_nodes(self):
+        dag = blocked_matmul_dag(4, 2)
+        combines = [v for v in dag.nodes if isinstance(v, tuple) and v[0] == "C"]
+        # one combine per output cell (2 blocks -> 1 combine each)
+        assert len(combines) == 16
+
+    def test_output_depends_on_row_and_column(self):
+        dag = blocked_matmul_dag(2, 1)
+        anc = dag.ancestors(("C", 0, 0, 1))
+        assert ("A", 0, 0) in anc and ("A", 0, 1) in anc
+        assert ("B", 0, 0) in anc and ("B", 1, 0) in anc
+
+    def test_rejects_non_dividing_block(self):
+        with pytest.raises(ValueError):
+            blocked_matmul_dag(4, 3)
+        with pytest.raises(ValueError):
+            blocked_matmul_dag(4, 0)
+
+
+class TestConv:
+    def test_counts(self):
+        n, k = 8, 3
+        dag = conv_dag(n, k)
+        out = n - k + 1
+        # n inputs + k weights + out*k products + out*(k-1) partial sums
+        assert dag.n_nodes == n + k + out * k + out * (k - 1)
+        assert len(dag.sinks) == out
+        assert dag.max_indegree == 2
+
+    def test_channels_are_combined(self):
+        dag = conv_dag(6, 3, channels=2)
+        sinks = dag.sinks
+        assert len(sinks) == 4
+        assert all(isinstance(v, tuple) and v[0] == "y" for v in sinks)
+
+    def test_window_reuse(self):
+        # an interior input feeds k product nodes (the sliding window)
+        dag = conv_dag(8, 3)
+        succ = [v for v in dag.nodes if ("x", 0, 4) in dag.predecessors(v)]
+        assert len(succ) == 3
+
+    def test_rejects_kernel_wider_than_input(self):
+        with pytest.raises(ValueError):
+            conv_dag(2, 3)
+        with pytest.raises(ValueError):
+            conv_dag(4, 2, channels=0)
+
+
+class TestAttention:
+    def test_counts_single_head(self):
+        s = 3
+        dag = attention_dag(s)
+        # 3s inputs + s^2 scores + s(s-1) normalizer chain + s^2 weights
+        # + s^2 weighted values + s(s-1) output chain
+        assert dag.n_nodes == 3 * s + 3 * s * s + 2 * s * (s - 1)
+        assert dag.max_indegree == 2
+        assert len(dag.sinks) == s
+
+    def test_output_attends_to_every_position(self):
+        s = 3
+        dag = attention_dag(s)
+        (sink,) = [v for v in dag.sinks if v[2] == 0]
+        anc = dag.ancestors(sink)
+        for j in range(s):
+            assert ("k", 0, j) in anc and ("v", 0, j) in anc
+
+    def test_heads_are_combined_per_position(self):
+        dag = attention_dag(3, heads=2)
+        assert dag.sinks == {("out", i, 1) for i in range(3)}
+        assert dag.max_indegree == 2
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            attention_dag(0)
+        with pytest.raises(ValueError):
+            attention_dag(2, heads=0)
+
+
+class TestMultistepStencil:
+    def test_counts(self):
+        dag = multistep_stencil_dag(3, 3, steps=2)
+        assert dag.n_nodes == 9 * 3
+        assert dag.sources == {("st", 0, i, j) for i in range(3) for j in range(3)}
+        assert len(dag.sinks) == 9
+
+    def test_five_point_neighborhood(self):
+        dag = multistep_stencil_dag(3, 3, steps=1)
+        center = dag.predecessors(("st", 1, 1, 1))
+        assert len(center) == 5
+        corner = dag.predecessors(("st", 1, 0, 0))
+        assert len(corner) == 3
+        assert dag.max_indegree == 5
+
+    def test_depth_equals_steps(self):
+        assert multistep_stencil_dag(2, 2, steps=3).depth() == 3
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            multistep_stencil_dag(0, 3)
+        with pytest.raises(ValueError):
+            multistep_stencil_dag(3, 3, steps=0)
 
 
 class TestIndependentTasks:

@@ -5,7 +5,10 @@ from fractions import Fraction
 import pytest
 
 from repro.generators import (
+    attention_dag,
+    blocked_matmul_dag,
     butterfly_dag,
+    conv_dag,
     dag_from_spec,
     graph_from_spec,
     grid_stencil_dag,
@@ -13,6 +16,7 @@ from repro.generators import (
     independent_tasks_dag,
     layered_random_dag,
     matmul_dag,
+    multistep_stencil_dag,
     pyramid_dag,
 )
 
@@ -24,6 +28,13 @@ class TestClassicSpecs:
         ("butterfly:2", butterfly_dag(2)),
         ("matmul:2", matmul_dag(2)),
         ("tasks:3x2", independent_tasks_dag(3, 2)),
+        ("matmul:4:b2", blocked_matmul_dag(4, 2)),
+        ("conv:8:3", conv_dag(8, 3)),
+        ("conv:6:3:c2", conv_dag(6, 3, channels=2)),
+        ("attn:3", attention_dag(3)),
+        ("attn:3:h2", attention_dag(3, heads=2)),
+        ("stencil:3x4", multistep_stencil_dag(3, 4)),
+        ("stencil:3x4:t2", multistep_stencil_dag(3, 4, steps=2)),
     ])
     def test_matches_generator(self, spec, expected):
         assert dag_from_spec(spec).n_nodes == expected.n_nodes
@@ -31,6 +42,12 @@ class TestClassicSpecs:
     def test_chain_and_tree(self):
         assert dag_from_spec("chain:5").n_nodes == 5
         assert dag_from_spec("tree:4").n_nodes > 4
+
+    def test_blocked_matmul_is_structural(self):
+        blocked = dag_from_spec("matmul:4:b2")
+        assert set(blocked.nodes) == set(blocked_matmul_dag(4, 2).nodes)
+        # without the option, exactly the naive generator
+        assert set(dag_from_spec("matmul:4").nodes) == set(matmul_dag(4).nodes)
 
 
 class TestParameterisedSpecs:
@@ -56,6 +73,59 @@ class TestParameterisedSpecs:
         path = tmp_path / "dag.json"
         path.write_text(dag_to_json(ComputationDAG([("a", "b")])))
         assert dag_from_spec(f"@{path}").n_nodes == 2
+
+
+class TestFileSpecs:
+    """The @path spec dispatches on suffix and keeps the ValueError contract."""
+
+    def test_dot_file(self, tmp_path):
+        from repro.io import to_dot
+
+        dag = grid_stencil_dag(2, 3)
+        path = tmp_path / "dag.dot"
+        path.write_text(to_dot(dag))
+        back = dag_from_spec(f"@{path}")
+        assert set(back.nodes) == set(dag.nodes)
+        assert set(back.edges()) == set(dag.edges())
+
+    def test_edges_file(self, tmp_path):
+        from repro.io import dag_to_edgelist
+
+        dag = pyramid_dag(2)
+        path = tmp_path / "dag.edges"
+        path.write_text(dag_to_edgelist(dag))
+        back = dag_from_spec(f"@{path}")
+        assert set(back.nodes) == set(dag.nodes)
+        assert set(back.edges()) == set(dag.edges())
+
+    def test_missing_file_is_a_bad_spec(self, tmp_path):
+        # regression: a raw OSError used to leak through (a 502, not a
+        # 400, once it reached the service layer)
+        for suffix in ("json", "dot", "edges"):
+            spec = f"@{tmp_path}/missing.{suffix}"
+            with pytest.raises(ValueError, match="bad DAG spec"):
+                dag_from_spec(spec)
+
+    def test_malformed_content_is_a_bad_spec(self, tmp_path):
+        # regression: json.JSONDecodeError used to leak through
+        cases = {
+            "broken.json": "{not json",
+            "broken.dot": 'digraph g {\n  "a" -> ;\n}',
+            "broken.edges": '["a", "b", "c"]\n',
+            # structurally wrong JSON (missing keys)
+            "keys.json": '{"nodes": []}',
+        }
+        for name, text in cases.items():
+            path = tmp_path / name
+            path.write_text(text)
+            with pytest.raises(ValueError, match="bad DAG spec"):
+                dag_from_spec(f"@{path}")
+
+    def test_cyclic_file_is_a_bad_spec(self, tmp_path):
+        path = tmp_path / "cycle.edges"
+        path.write_text('["a"]\n["b"]\n["a", "b"]\n["b", "a"]\n')
+        with pytest.raises(ValueError, match="bad DAG spec"):
+            dag_from_spec(f"@{path}")
 
 
 class TestHierarchySpecs:
@@ -175,6 +245,13 @@ class TestErrors:
         "cd:3",                # missing layer count
         "ggrid:3",             # missing LxK argument
         "rand:8",              # missing edge probability
+        "matmul:4:b3",         # block does not divide n
+        "matmul:4:q2",         # unknown matmul option
+        "conv:8",              # missing kernel width
+        "conv:2:5",            # kernel wider than the input
+        "attn:3:h0",           # degenerate head count
+        "stencil:3",           # missing RxC argument
+        "stencil:3x3:t0",      # degenerate step count
     ])
     def test_bad_specs_raise(self, spec):
         with pytest.raises(ValueError):

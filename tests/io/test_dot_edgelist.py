@@ -1,0 +1,165 @@
+"""DOT import/export and the edge-list format: exact round-trips and
+error paths.
+
+The hypothesis properties exercise random DAGs over the label shapes the
+generators actually use — plain strings, ints, and nested tuples like
+``("g", i, j)`` / ``("b", level, i)`` — plus strings with the characters
+the DOT quoting has to escape (quotes, backslashes, newlines).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ComputationDAG
+from repro.generators import butterfly_dag, grid_stencil_dag, pyramid_dag
+from repro.io import (
+    dag_from_edgelist,
+    dag_from_json,
+    dag_to_edgelist,
+    dag_to_json,
+    from_dot,
+    to_dot,
+)
+
+RT_SETTINGS = dict(max_examples=60, deadline=None)
+
+# strings that never collide with the repr of another label type (a
+# digits-only string would stringify like an int and round-trip as one)
+_texts = st.text(
+    alphabet='abcxyz_ "\\\n-',
+    min_size=1,
+    max_size=6,
+).filter(lambda s: not s.strip('"\\\n ').isdigit())
+
+_labels = st.one_of(
+    _texts,
+    st.integers(min_value=-50, max_value=50),
+    st.tuples(st.sampled_from(["g", "b", "P"]), st.integers(0, 9)),
+    st.tuples(
+        st.sampled_from(["g", "b"]), st.integers(0, 9), st.integers(0, 9)
+    ),
+    st.tuples(_texts, st.integers(0, 9)),
+)
+
+
+@st.composite
+def random_dags(draw):
+    labels = draw(
+        st.lists(_labels, min_size=1, max_size=8, unique=True)
+    )
+    edges = []
+    # only forward edges (i < j) in the drawn order: acyclic by design
+    for i in range(len(labels)):
+        for j in range(i + 1, len(labels)):
+            if draw(st.booleans()):
+                edges.append((labels[i], labels[j]))
+    return ComputationDAG(edges=edges, nodes=labels)
+
+
+def assert_same_dag(a: ComputationDAG, b: ComputationDAG) -> None:
+    """Exact structural equality: node set and per-node predecessors."""
+    assert set(a.nodes) == set(b.nodes)
+    assert {v: a.predecessors(v) for v in a.nodes} == {
+        v: b.predecessors(v) for v in b.nodes
+    }
+
+
+class TestDotRoundTrip:
+    @settings(**RT_SETTINGS)
+    @given(dag=random_dags())
+    def test_round_trip_is_exact(self, dag):
+        assert_same_dag(dag, from_dot(to_dot(dag)))
+
+    @pytest.mark.parametrize("dag", [
+        pyramid_dag(2),
+        grid_stencil_dag(2, 3),
+        butterfly_dag(2),
+        ComputationDAG(nodes=["isolated", ("also", 1)]),
+    ])
+    def test_generator_labels_round_trip(self, dag):
+        assert_same_dag(dag, from_dot(to_dot(dag)))
+
+    def test_escaping_produces_valid_dot(self):
+        # the old _quote left backslashes and newlines unescaped
+        dag = ComputationDAG([('say "hi"', "back\\slash"), ("back\\slash", "a\nb")])
+        text = to_dot(dag)
+        for line in text.splitlines():
+            assert "\n" not in line[1:]  # no raw newlines inside statements
+        assert_same_dag(dag, from_dot(text))
+
+    def test_state_colouring_is_ignored_on_import(self):
+        from repro import PebblingState
+
+        dag = pyramid_dag(2)
+        state = PebblingState(
+            red=frozenset([("pyr", 0, 0)]),
+            blue=frozenset([("pyr", 0, 1)]),
+            computed=frozenset([("pyr", 0, 0), ("pyr", 0, 1)]),
+        )
+        assert_same_dag(dag, from_dot(to_dot(dag, state)))
+
+
+class TestDotErrors:
+    @pytest.mark.parametrize("text", [
+        "",                                          # no header
+        'digraph g {\n  "a";\n',                     # missing closing brace
+        '"a" -> "b";',                               # statement before header
+        'digraph g {\n  "a" -> ;\n}',                # malformed edge
+        'digraph g {\n  "a" -> "b"\n}',              # missing semicolon
+        'digraph g {\n  "unterminated;\n}',          # unterminated quote
+        'digraph g {\n  "a";\n  "a";\n}',            # duplicate node
+        'digraph g {\n  "a";\n  "a" -> "b";\n}',     # dangling edge endpoint
+        'digraph g {\n  "a";\n  "a" -> "a";\n}',     # self-loop
+        'digraph g {\n  "a";\n  "b";\n  "a" -> "b";\n  "b" -> "a";\n}',  # cycle
+        'digraph g {\n  }"a";\n}',                   # garbage statement
+        'digraph g {\n}\n"late";',                   # statement after close
+    ])
+    def test_malformed_dot_raises(self, text):
+        with pytest.raises(ValueError):
+            from_dot(text)
+
+
+class TestEdgelistRoundTrip:
+    @settings(**RT_SETTINGS)
+    @given(dag=random_dags())
+    def test_round_trip_is_exact(self, dag):
+        assert_same_dag(dag, dag_from_edgelist(dag_to_edgelist(dag)))
+
+    @settings(**RT_SETTINGS)
+    @given(dag=random_dags())
+    def test_agrees_with_json_round_trip(self, dag):
+        via_json = dag_from_json(dag_to_json(dag))
+        via_edges = dag_from_edgelist(dag_to_edgelist(dag))
+        assert_same_dag(via_json, via_edges)
+
+    def test_isolated_nodes_and_comments(self):
+        text = '#! repro-pebble/edgelist/v1\n\n# a comment\n["lonely"]\n'
+        dag = dag_from_edgelist(text)
+        assert set(dag.nodes) == {"lonely"}
+
+    def test_tuple_labels_use_the_json_encoding(self):
+        dag = grid_stencil_dag(2, 2)  # labels ("g", i, j)
+        text = dag_to_edgelist(dag)
+        assert '{"t": ["g", 0, 0]}' in text
+        assert_same_dag(dag, dag_from_edgelist(text))
+
+
+class TestEdgelistErrors:
+    @pytest.mark.parametrize("text", [
+        "not json\n",                                # malformed JSON line
+        '["a", "b", "c"]\n',                         # wrong arity
+        '"a"\n',                                     # not an array
+        '["a"]\n["a"]\n',                            # duplicate node
+        '["a"]\n["a", "b"]\n',                       # dangling edge endpoint
+        '["a"]\n["a", "a"]\n',                       # self-loop
+        '["a"]\n["b"]\n["a", "b"]\n["b", "a"]\n',    # cycle
+        '[["bare", "list"]]\n',                      # bare list label encoding
+        '[{"x": 1}]\n',                              # unknown label encoding
+    ])
+    def test_malformed_edgelist_raises(self, text):
+        with pytest.raises(ValueError):
+            dag_from_edgelist(text)
+
+    def test_error_points_at_the_line(self):
+        with pytest.raises(ValueError, match="line 3"):
+            dag_from_edgelist('["a"]\n["b"]\nnot json\n')

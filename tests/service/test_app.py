@@ -170,6 +170,19 @@ class TestErrorPaths:
 
         run(scenario())
 
+    def test_missing_spec_file_is_400(self, tmp_path):
+        # regression: a @path spec naming a missing file used to raise a
+        # raw OSError inside the worker, surfacing as a 502 internal
+        # error instead of a client-side 400
+        async def scenario():
+            async with ServiceHarness() as h:
+                with pytest.raises(ServiceError) as info:
+                    await h.call("query", {"dag": f"@{tmp_path}/missing.json"})
+                assert info.value.status == 400
+                assert "bad DAG spec" in str(info.value)
+
+        run(scenario())
+
     def test_timeout_is_504(self, pool):
         async def scenario():
             async with ServiceHarness(backend=pool) as h:

@@ -130,11 +130,18 @@ class TestHongKungCurves:
     def test_bounds_nonnegative(self):
         assert matmul_io_lower_bound(2, 1000) == 0.0
 
+    def test_degenerate_sizes_clamp_to_zero(self):
+        # the shared convention: degenerate-but-valid sizes are a vacuous
+        # bound (0.0), not an error — for both curves
+        assert fft_io_lower_bound(1, 4) == 0.0
+        assert matmul_io_lower_bound(1, 1000) == 0.0
+
     def test_input_validation(self):
-        with pytest.raises(ValueError):
-            matmul_io_lower_bound(0, 4)
-        with pytest.raises(ValueError):
-            fft_io_lower_bound(1, 4)
+        for bound in (matmul_io_lower_bound, fft_io_lower_bound):
+            with pytest.raises(ValueError):
+                bound(0, 4)
+            with pytest.raises(ValueError):
+                bound(4, 0)
 
     def test_exhaustive_bounds_exact_when_search_finishes(self):
         dag = pyramid_dag(2)

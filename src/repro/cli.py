@@ -13,7 +13,7 @@ table2     print Table 2 (model properties)
 bench      experiment runner: list/run/compare declarative specs
 serve      pebbling-as-a-service: long-running async HTTP/JSON API
 query      client for a running server (one cell per call)
-check      repo-aware static analysis (invariant linter, CI gate)
+check      repo-aware static analysis (dataflow linter + autofix, CI gate)
 
 Generator specs for --dag: ``pyramid:H``, ``chain:N``, ``tree:LEAVES``,
 ``grid:RxC``, ``butterfly:K``, ``matmul:N[:bB]``, ``conv:N:K[:cC]``,
@@ -410,8 +410,33 @@ def cmd_check(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    index = devtools.RepoIndex(Path(args.root))
-    findings = devtools.run_check(index, rules=rules)
+    if args.update_baseline and not args.baseline:
+        raise SystemExit("--update-baseline requires --baseline FILE")
+    root = Path(args.root)
+    fixed = 0
+    if args.fix:
+        fixed, findings = devtools.fix_all(root, rules)
+    else:
+        index = devtools.RepoIndex(root)
+        findings = devtools.run_check(index, rules=rules)
+    if args.changed_only:
+        changed = devtools.changed_paths(root)
+        if changed is not None:
+            findings = [f for f in findings if f.path in changed]
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if args.update_baseline:
+            devtools.save_baseline(baseline_path, findings)
+            print(f"baseline: {len(findings)} finding(s) written to "
+                  f"{baseline_path}")
+            return 0
+        try:
+            baseline = devtools.load_baseline(baseline_path)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        findings = devtools.apply_baseline(findings, baseline)
+    if args.fix and fixed:
+        print(f"fixed: {fixed} finding(s) rewritten in place")
     render = (
         devtools.render_json if args.format == "json" else devtools.render_text
     )
@@ -551,6 +576,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip these rule ids (repeatable)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--fix", action="store_true",
+                   help="apply span autofixes, re-checking until clean")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="filter findings recorded in FILE (warn-first mode)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write the current findings to --baseline FILE")
+    p.add_argument("--changed-only", action="store_true",
+                   help="only report findings in files changed per git")
     p.set_defaults(fn=cmd_check)
 
     return parser

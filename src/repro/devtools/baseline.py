@@ -1,0 +1,104 @@
+"""Warn-first adoption modes: ``--baseline`` and ``--changed-only``.
+
+A new rule can land before the repo is clean under it: record the
+current findings once (``--baseline FILE --update-baseline``), then
+gate CI with ``--baseline FILE`` — known findings are filtered out and
+only *new* drift fails the check.  Fingerprints are
+``(rule, path, message)`` — deliberately line-free, so unrelated edits
+shifting a file do not invalidate the baseline, while fixing the
+finding (or a new occurrence) changes the multiset and surfaces.
+
+``--changed-only`` narrows a run to files touched in the working tree
+(``git diff --name-only HEAD`` plus untracked files) — the pre-commit
+shape of the same gradual story.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .report import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "save_baseline",
+    "load_baseline",
+    "apply_baseline",
+    "changed_paths",
+]
+
+BASELINE_FORMAT = "repro-pebble/check-baseline/v1"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+def _fingerprint(finding: Finding) -> _Fingerprint:
+    return (finding.rule, finding.path, finding.message)
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {"rule": rule, "path": rel, "message": message}
+            for rule, rel, message in sorted(_fingerprint(f) for f in findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> "Counter[_Fingerprint]":
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValueError(
+            f"baseline file {path} does not exist; create it with "
+            f"--update-baseline"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline file {path} is not valid JSON: {exc}") from None
+    if payload.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"baseline file {path} has format {payload.get('format')!r}, "
+            f"expected {BASELINE_FORMAT!r}"
+        )
+    counter: "Counter[_Fingerprint]" = Counter()
+    for entry in payload.get("findings", []):
+        counter[(entry["rule"], entry["path"], entry["message"])] += 1
+    return counter
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: "Counter[_Fingerprint]"
+) -> List[Finding]:
+    """Findings not covered by the baseline (multiset semantics)."""
+    remaining = Counter(baseline)
+    out: List[Finding] = []
+    for finding in findings:
+        key = _fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        out.append(finding)
+    return out
+
+
+def changed_paths(root: Path) -> Optional[Set[str]]:
+    """Repo-relative paths touched in the working tree, or None (no git)."""
+    paths: Set[str] = set()
+    for args in (
+        ("git", "-C", str(root), "diff", "--name-only", "HEAD"),
+        ("git", "-C", str(root), "ls-files", "--others", "--exclude-standard"),
+    ):
+        try:
+            result = subprocess.run(
+                args, capture_output=True, text=True, timeout=30, check=True
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        paths.update(line.strip() for line in result.stdout.splitlines() if line.strip())
+    return paths

@@ -1,0 +1,164 @@
+"""RP011 — dead / duplicated branches in the spec-grammar dispatch.
+
+The spec grammars (``generators/specs.py``) dispatch on string
+constants in flat ``if kind == "...": return ...`` chains.  Appending a
+branch for a kind that already has one is an easy rebase casualty: the
+new branch is dead (the earlier one returns first) and the grammar
+silently keeps its old behaviour.
+
+For every function the rule groups branch tests of the forms
+``name == "const"`` / ``name != "const"`` / ``name.startswith("const")``
+by ``(variable, operation, constant)``; a second occurrence whose first
+occurrence terminates (its body ends in ``return``/``raise``) is dead
+and flagged.  When the duplicate is a plain ``if`` (not an ``elif``,
+no ``else``) with a body structurally identical to the first, the
+finding carries an autofix that deletes the whole statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .analysis import _FUNC_TYPES, FunctionNode
+from .index import ModuleInfo, RepoIndex
+from .report import Finding, Fix
+from .rules import rule
+
+__all__ = ["SPEC_MODULES"]
+
+#: the dispatch modules this rule audits
+SPEC_MODULES = frozenset({"src/repro/generators/specs.py"})
+
+
+def _is_spec_module(module: ModuleInfo) -> bool:
+    return module.rel in SPEC_MODULES or "devtools: spec-grammar" in module.source
+
+
+def _branch_key(test: ast.expr) -> Optional[Tuple[str, str, str]]:
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        op = test.ops[0]
+        if not isinstance(op, (ast.Eq, ast.NotEq)):
+            return None
+        left, right = test.left, test.comparators[0]
+        if isinstance(right, ast.Name) and isinstance(left, ast.Constant):
+            left, right = right, left
+        if (
+            isinstance(left, ast.Name)
+            and isinstance(right, ast.Constant)
+            and isinstance(right.value, str)
+        ):
+            kind = "==" if isinstance(op, ast.Eq) else "!="
+            return (left.id, kind, right.value)
+    if (
+        isinstance(test, ast.Call)
+        and isinstance(test.func, ast.Attribute)
+        and test.func.attr == "startswith"
+        and isinstance(test.func.value, ast.Name)
+        and test.args
+        and isinstance(test.args[0], ast.Constant)
+        and isinstance(test.args[0].value, str)
+    ):
+        return (test.func.value.id, "startswith", test.args[0].value)
+    return None
+
+
+def _terminates(body: List[ast.stmt]) -> bool:
+    return bool(body) and isinstance(body[-1], (ast.Return, ast.Raise))
+
+
+def _elif_ifs(fn: FunctionNode) -> Set[int]:
+    """ids of If nodes that are the elif arm of another If."""
+    out: Set[int] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.If)
+            and len(node.orelse) == 1
+            and isinstance(node.orelse[0], ast.If)
+        ):
+            out.add(id(node.orelse[0]))
+    return out
+
+
+def _delete_fix(module: ModuleInfo, stmt: ast.stmt) -> Optional[Fix]:
+    """Remove the statement's full lines (safe only for flat chains)."""
+    end_line = getattr(stmt, "end_lineno", None)
+    if end_line is None:
+        return None
+    start_line = stmt.lineno
+    # refuse when another statement shares the first or last line
+    first = module.lines[start_line - 1]
+    if first[: stmt.col_offset].strip():
+        return None
+    if end_line < len(module.lines):
+        return Fix(
+            line=start_line, col=0, end_line=end_line + 1, end_col=0,
+            replacement="",
+        )
+    return Fix(
+        line=start_line, col=0, end_line=end_line,
+        end_col=len(module.lines[end_line - 1]), replacement="",
+    )
+
+
+@rule(
+    "RP011",
+    "dead-dispatch-branch",
+    severity="error",
+    autofixable=True,
+    scope="file",
+    description=(
+        "spec-grammar dispatch chains must not test the same "
+        "(variable, constant) twice — the second branch is dead; "
+        "identical duplicates are autofixably deleted"
+    ),
+)
+def check_dispatch_branches(
+    module: ModuleInfo, index: RepoIndex
+) -> Iterator[Finding]:
+    if not _is_spec_module(module):
+        return
+    tree = module.tree
+    assert tree is not None
+    for fn in ast.walk(tree):
+        if not isinstance(fn, _FUNC_TYPES):
+            continue
+        elifs = _elif_ifs(fn)
+        seen: Dict[Tuple[str, str, str], ast.If] = {}
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.If):
+                continue
+            key = _branch_key(node.test)
+            if key is None:
+                continue
+            first = seen.get(key)
+            if first is None:
+                seen[key] = node
+                continue
+            if not _terminates(first.body):
+                continue  # the earlier branch falls through: not dead
+            var, op, const = key
+            test_desc = (
+                f"{var}.startswith({const!r})"
+                if op == "startswith"
+                else f"{var} {op} {const!r}"
+            )
+            fix: Optional[Fix] = None
+            identical = ast.dump(
+                ast.Module(body=node.body, type_ignores=[])
+            ) == ast.dump(ast.Module(body=first.body, type_ignores=[]))
+            if identical and not node.orelse and id(node) not in elifs:
+                fix = _delete_fix(module, node)
+            yield Finding(
+                rule="RP011",
+                severity="error",
+                path=module.rel,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"duplicate dispatch branch in {fn.name}(): "
+                    f"`{test_desc}` already dispatched at line "
+                    f"{first.lineno}, so this branch is dead"
+                ),
+                fix=fix,
+            )

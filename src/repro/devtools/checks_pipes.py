@@ -1,0 +1,380 @@
+"""RP009/RP010 — the fork boundary and the pipe protocol, kept in sync.
+
+Both rules reason about the *partition* of a process-spawning module
+into worker-side functions (process targets of ``spawn_pipe_worker`` /
+``Process(target=...)`` plus their same-module callees, from
+:func:`~repro.devtools.analysis.worker_side_functions`) and the
+parent-side remainder.
+
+**RP009 (fork-shared-state).**  A module-level mutable container
+(``{}``, ``[]``, ``dict()``, ``defaultdict(...)``, …) written from
+worker-side code is a unit-test-green bug: under ``fork`` the child
+mutates a *copy*, under ``spawn`` a fresh module — either way the
+parent never observes the write.  Anything a worker learns must travel
+through the pipe protocol.  Parent-side bookkeeping writes (the pool
+registry) are legitimate and not flagged.
+
+**RP010 (pipe-protocol-sync).**  The tagged-tuple protocol of
+``solvers/parallel.py`` drifts in three directions: a worker sends a
+tag the router never handles (silent message drop), the router handles
+a tag nothing sends (dead dispatch), or the table in
+``docs/architecture.md`` ("pipe protocol" section) disagrees with
+either.  Sent tags are the first string constant of a tuple passed to
+``*.send((...))``; handled tags are string constants compared against
+the router convention — a variable named ``tag`` or a ``msg[0]``-style
+subscript.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .analysis import (
+    FunctionNode,
+    _FUNC_TYPES,
+    module_functions,
+    worker_side_functions,
+)
+from .index import ModuleInfo, RepoIndex
+from .report import Finding
+from .rules import finding, rule
+
+__all__ = ["PIPE_MODULES", "PARALLEL_MODULE", "PROTOCOL_DOC"]
+
+#: the modules that spawn pipe workers (RP009's scope)
+PIPE_MODULES = frozenset(
+    {
+        "src/repro/solvers/parallel.py",
+        "src/repro/experiments/backends.py",
+    }
+)
+
+#: the sharded-search module whose protocol RP010 audits
+PARALLEL_MODULE = "src/repro/solvers/parallel.py"
+
+#: where the protocol table lives ("pipe protocol" heading)
+PROTOCOL_DOC = "docs/architecture.md"
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "add", "update", "clear", "pop", "popitem", "setdefault",
+        "extend", "insert", "remove", "discard", "appendleft", "extendleft",
+    }
+)
+
+
+def _is_pipe_module(module: ModuleInfo) -> bool:
+    return module.rel in PIPE_MODULES or "devtools: pipe-worker" in module.source
+
+
+def _mutable_globals(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to mutable containers."""
+    out: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp,
+                    ast.SetComp)
+        )
+        if isinstance(value, ast.Call):
+            func = value.func
+            leaf = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            mutable = leaf in _MUTABLE_CONSTRUCTORS
+        if mutable:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return out
+
+
+def _subscript_base(expr: ast.expr) -> Optional[str]:
+    while isinstance(expr, (ast.Subscript, ast.Attribute)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _global_writes(
+    fn: FunctionNode, globals_: Set[str]
+) -> Iterator[Tuple[ast.AST, str]]:
+    declared_global: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = _subscript_base(target)
+                    if base in globals_:
+                        yield node, base
+                elif (
+                    isinstance(target, ast.Name)
+                    and target.id in globals_
+                    and target.id in declared_global
+                ):
+                    yield node, target.id
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    base = _subscript_base(target)
+                    if base in globals_:
+                        yield node, base
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in globals_
+            ):
+                yield node, func.value.id
+
+
+@rule(
+    "RP009",
+    "fork-shared-state",
+    severity="error",
+    scope="file",
+    description=(
+        "worker-side code (process targets and their same-module callees) "
+        "must not write module-level mutable state — a spawned child's "
+        "writes never reach the parent; route results through the pipe"
+    ),
+)
+def check_fork_shared_state(
+    module: ModuleInfo, index: RepoIndex
+) -> Iterator[Finding]:
+    if not _is_pipe_module(module):
+        return
+    tree = module.tree
+    assert tree is not None
+    globals_ = _mutable_globals(tree)
+    if not globals_:
+        return
+    funcs = module_functions(module)
+    for name in sorted(worker_side_functions(module)):
+        for node, global_name in _global_writes(funcs[name], globals_):
+            yield finding(
+                "RP009", "error", module, node,
+                f"worker-side function {name}() writes module-level "
+                f"mutable '{global_name}': the mutation happens in a "
+                f"spawned child and never reaches the parent — send it "
+                f"through the pipe protocol instead",
+            )
+
+
+# ------------------------------------------------------------------ #
+# RP010: sent tags vs handled tags vs the documented protocol table
+# ------------------------------------------------------------------ #
+
+_DOC_TAG_RE = re.compile(r"`([a-z_]+)`")
+
+
+def _sent_tags(nodes: List[FunctionNode]) -> Dict[str, int]:
+    """Tag -> first line, from ``conn.send(("tag", ...))`` calls."""
+    out: Dict[str, int] = {}
+    for fn in nodes:
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+                and node.args
+                and isinstance(node.args[0], ast.Tuple)
+                and node.args[0].elts
+            ):
+                first = node.args[0].elts[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    out.setdefault(first.value, node.lineno)
+    return out
+
+
+def _handled_tags(nodes: List[FunctionNode]) -> Dict[str, int]:
+    """Tag -> first line, from ``tag == "..."`` / ``msg[0] == "..."``."""
+    out: Dict[str, int] = {}
+    for fn in nodes:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            is_tag_expr = any(
+                (isinstance(o, ast.Name) and o.id == "tag")
+                or (
+                    isinstance(o, ast.Subscript)
+                    and isinstance(o.slice, ast.Constant)
+                    and o.slice.value == 0
+                )
+                for o in operands
+            )
+            if not is_tag_expr:
+                continue
+            for o in operands:
+                if isinstance(o, ast.Constant) and isinstance(o.value, str):
+                    out.setdefault(o.value, o.lineno)
+    return out
+
+
+def _documented_tags(doc: str) -> Optional[Dict[Tuple[str, str], int]]:
+    """``(sender, tag) -> line`` from the "pipe protocol" table, or None.
+
+    ``sender`` is ``"parent"`` or ``"worker"`` — the first cell of each
+    table row names the direction (``parent → worker`` et vice versa).
+    """
+    lines = doc.splitlines()
+    section_start = None
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("#") and "pipe protocol" in line.lower():
+            section_start = i
+            break
+    if section_start is None:
+        return None
+    out: Dict[Tuple[str, str], int] = {}
+    for offset, line in enumerate(lines[section_start + 1:]):
+        if line.lstrip().startswith("#"):
+            break  # next heading ends the section
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        if len(cells) < 2 or set(cells[0]) <= {"-", " ", ":"}:
+            continue
+        direction = cells[0].lower()
+        parent_pos = direction.find("parent")
+        worker_pos = direction.find("worker")
+        if parent_pos < 0 or worker_pos < 0:
+            continue
+        sender = "parent" if parent_pos < worker_pos else "worker"
+        match = _DOC_TAG_RE.search(cells[1])
+        if match is not None:
+            out[(sender, match.group(1))] = section_start + 2 + offset
+    return out
+
+
+@rule(
+    "RP010",
+    "pipe-protocol-sync",
+    severity="error",
+    scope="repo",
+    description=(
+        "every pipe message tag a worker sends is handled by the router "
+        "(and vice versa per direction), and the docs/architecture.md "
+        "pipe-protocol table lists exactly the tags the code speaks"
+    ),
+)
+def check_pipe_protocol(index: RepoIndex) -> Iterator[Finding]:
+    module = index.module(PARALLEL_MODULE)
+    if module is None or module.tree is None:
+        return  # not this repo's layout
+    funcs = module_functions(module)
+    worker_names = worker_side_functions(module)
+    worker_nodes = [funcs[n] for n in sorted(worker_names)]
+    parent_nodes = [
+        node for name, node in sorted(funcs.items()) if name not in worker_names
+    ]
+    for node in module.tree.body:  # methods run on the parent side
+        if isinstance(node, ast.ClassDef):
+            parent_nodes.extend(
+                sub for sub in node.body if isinstance(sub, _FUNC_TYPES)
+            )
+
+    sent = {"worker": _sent_tags(worker_nodes), "parent": _sent_tags(parent_nodes)}
+    handled = {
+        "worker": _handled_tags(worker_nodes),
+        "parent": _handled_tags(parent_nodes),
+    }
+
+    def _whole(side: str) -> str:
+        return "router" if side == "parent" else "worker"
+
+    for sender, receiver in (("worker", "parent"), ("parent", "worker")):
+        for tag, line in sorted(sent[sender].items()):
+            if tag not in handled[receiver]:
+                yield Finding(
+                    rule="RP010", severity="error", path=module.rel,
+                    line=line, col=0,
+                    message=(
+                        f"{_whole(sender)} sends pipe tag '{tag}' that the "
+                        f"{_whole(receiver)} side never handles — the "
+                        f"message would be silently dropped"
+                    ),
+                )
+        for tag, line in sorted(handled[receiver].items()):
+            if tag not in sent[sender]:
+                yield Finding(
+                    rule="RP010", severity="error", path=module.rel,
+                    line=line, col=0,
+                    message=(
+                        f"{_whole(receiver)} side handles pipe tag '{tag}' "
+                        f"that no {_whole(sender)} ever sends — dead "
+                        f"dispatch branch or a missing send"
+                    ),
+                )
+
+    doc = index.doc(PROTOCOL_DOC)
+    if doc is None:
+        return
+    documented = _documented_tags(doc)
+    if documented is None:
+        yield Finding(
+            rule="RP010", severity="error", path=PROTOCOL_DOC, line=1, col=0,
+            message=(
+                f"{PROTOCOL_DOC} has no 'pipe protocol' section documenting "
+                f"the message tags of {PARALLEL_MODULE}"
+            ),
+        )
+        return
+    for sender in ("worker", "parent"):
+        for tag, line in sorted(sent[sender].items()):
+            if (sender, tag) not in documented:
+                yield Finding(
+                    rule="RP010", severity="error", path=module.rel,
+                    line=line, col=0,
+                    message=(
+                        f"pipe tag '{tag}' ({sender} → "
+                        f"{'parent' if sender == 'worker' else 'worker'}) is "
+                        f"not documented in the {PROTOCOL_DOC} pipe-protocol "
+                        f"table"
+                    ),
+                )
+    known = {
+        (side, tag) for side in ("worker", "parent") for tag in sent[side]
+    } | {
+        # tags handled on a side were sent by the *other* side
+        ("parent", tag) for tag in handled["worker"]
+    } | {
+        ("worker", tag) for tag in handled["parent"]
+    }
+    for (sender, tag), line in sorted(documented.items()):
+        if (sender, tag) not in known:
+            yield Finding(
+                rule="RP010", severity="error", path=PROTOCOL_DOC,
+                line=line, col=0,
+                message=(
+                    f"documented pipe tag '{tag}' (sender: {sender}) does "
+                    f"not appear in {PARALLEL_MODULE} — stale protocol row"
+                ),
+            )

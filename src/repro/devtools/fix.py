@@ -1,0 +1,125 @@
+"""The span-based autofix engine behind ``repro-pebble check --fix``.
+
+A finding may carry a :class:`~repro.devtools.report.Fix` — a
+``(line, col, end_line, end_col, replacement)`` rewrite in the file it
+points at.  :func:`apply_fixes` groups fixes per file, drops overlaps
+(the survivor re-fires on the next round), applies them back-to-front
+so earlier spans stay valid, and writes the result.  The CLI wraps
+this in a check → apply → re-check loop until no autofixable finding
+remains, which is also what makes the engine *verified idempotent*:
+the loop only terminates on a state where re-running produces no new
+rewrites, and CI asserts that state is a clean diff on the repo.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .index import NOQA_RE, ModuleInfo, RepoIndex
+from .report import Finding, Fix
+
+__all__ = ["apply_fixes", "unused_noqa_fix"]
+
+_ID_RE = re.compile(r"[A-Z]{2}\d{3}")
+
+
+def _line_starts(source: str) -> List[int]:
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def _offset(starts: List[int], source: str, line: int, col: int) -> int:
+    if line < 1:
+        return 0
+    if line > len(starts):
+        return len(source)
+    return min(starts[line - 1] + col, len(source))
+
+
+def _apply_to_source(source: str, fixes: Sequence[Fix]) -> Tuple[str, int]:
+    """Apply non-overlapping fixes to a source string; returns (new, n)."""
+    starts = _line_starts(source)
+    spans: List[Tuple[int, int, str]] = []
+    for fix in fixes:
+        begin = _offset(starts, source, fix.line, fix.col)
+        end = _offset(starts, source, fix.end_line, fix.end_col)
+        if end < begin:
+            continue
+        spans.append((begin, end, fix.replacement))
+    spans.sort()
+    kept: List[Tuple[int, int, str]] = []
+    last_end = -1
+    for begin, end, repl in spans:
+        if begin < last_end:
+            continue  # overlap: leave it for the next fix round
+        kept.append((begin, end, repl))
+        last_end = max(last_end, end if end > begin else begin + 1)
+    for begin, end, repl in reversed(kept):
+        source = source[:begin] + repl + source[end:]
+    return source, len(kept)
+
+
+def apply_fixes(index: RepoIndex, findings: Sequence[Finding]) -> Dict[str, int]:
+    """Write the fixes of ``findings`` to disk; ``{path: fixes applied}``.
+
+    Only findings that carry a fix and point at an indexed module are
+    touched.  Overlapping spans within one file are resolved by keeping
+    the earliest and dropping the rest — the dropped findings re-fire
+    (with fresh, valid spans) when the caller re-checks, so the
+    fix/re-check loop converges without ever applying a stale span.
+    """
+    by_path: Dict[str, List[Fix]] = {}
+    for f in findings:
+        if f.fix is not None:
+            by_path.setdefault(f.path, []).append(f.fix)
+    applied: Dict[str, int] = {}
+    for rel, fixes in sorted(by_path.items()):
+        module = index.module(rel)
+        if module is None:
+            continue
+        new_source, n = _apply_to_source(module.source, fixes)
+        if n and new_source != module.source:
+            module.path.write_text(new_source, encoding="utf-8")
+            applied[rel] = n
+    return applied
+
+
+def unused_noqa_fix(
+    module: ModuleInfo, line: int, rule_id: str
+) -> Optional[Fix]:
+    """A fix removing ``rule_id`` from the noqa comment on ``line``.
+
+    Removes just the id (plus its comma) from a multi-id list, or the
+    whole comment — including the line, when nothing else is on it —
+    for a single-id directive.
+    """
+    if not (1 <= line <= len(module.lines)):
+        return None
+    text = module.lines[line - 1]
+    match = NOQA_RE.search(text)
+    if match is None:
+        return None
+    ids = [
+        (m.group(0), match.start("ids") + m.start(), match.start("ids") + m.end())
+        for m in _ID_RE.finditer(match.group("ids"))
+    ]
+    position = next((i for i, (rid, _, _) in enumerate(ids) if rid == rule_id), None)
+    if position is None:
+        return None
+    if len(ids) > 1:
+        if position == 0:
+            begin, end = ids[0][1], ids[1][1]
+        else:
+            begin, end = ids[position - 1][2], ids[position][2]
+        return Fix(line=line, col=begin, end_line=line, end_col=end,
+                   replacement="")
+    # single id: drop the whole comment (or the whole line if bare)
+    prefix = text[: match.start()].rstrip()
+    if prefix:
+        return Fix(line=line, col=len(prefix), end_line=line,
+                   end_col=len(text), replacement="")
+    return Fix(line=line, col=0, end_line=line + 1, end_col=0, replacement="")

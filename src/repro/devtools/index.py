@@ -12,12 +12,23 @@ trees in ``tests/devtools/fixtures/``.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["ModuleInfo", "RepoIndex", "DEFAULT_SCAN", "DEFAULT_EXCLUDES"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .report import Finding
+
+__all__ = [
+    "ModuleInfo",
+    "RepoIndex",
+    "NOQA_RE",
+    "DEFAULT_SCAN",
+    "DEFAULT_EXCLUDES",
+]
 
 #: subtrees scanned when no explicit paths are given
 DEFAULT_SCAN: Tuple[str, ...] = (
@@ -41,7 +52,9 @@ DEFAULT_EXCLUDES: Tuple[str, ...] = (
     "tests/devtools/fixtures",
 )
 
-_NOQA_RE = re.compile(r"#\s*noqa:\s*(?P<ids>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
+#: a ``# noqa: RP001`` / ``# noqa: RP001,RP003`` suppression comment;
+#: the comma list is first-class (also reused by the unused-noqa autofix)
+NOQA_RE = re.compile(r"#\s*noqa:\s*(?P<ids>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)")
 
 
 @dataclass
@@ -79,6 +92,7 @@ class RepoIndex:
         self.root = Path(root).resolve()
         self._py: Dict[str, ModuleInfo] = {}
         self._docs: Dict[str, str] = {}
+        self._noqa: Dict[str, Dict[int, Tuple[str, ...]]] = {}
         self._excludes = tuple(excludes)
         for entry in paths if paths is not None else DEFAULT_SCAN:
             target = self.root / entry
@@ -120,13 +134,39 @@ class RepoIndex:
 
     # -- suppressions ---------------------------------------------------
 
-    def is_suppressed(self, finding) -> bool:
+    def noqa_directives(self, rel: str) -> Dict[int, Tuple[str, ...]]:
+        """``{line: (rule ids)}`` for every noqa comment in a module.
+
+        Comma lists are honored: ``# noqa: RP001,RP003`` suppresses both
+        rules on that line.  Only real COMMENT tokens count — the string
+        ``"# noqa: RP001"`` inside a docstring or test literal is data,
+        not a directive.  The map is the source the unused-noqa pass
+        (RP000) audits, so suppressions cannot rot silently.
+        """
+        info = self._py.get(rel)
+        if info is None:
+            return {}
+        cached = self._noqa.get(rel)
+        if cached is None:
+            cached = {}
+            try:
+                tokens = list(
+                    tokenize.generate_tokens(io.StringIO(info.source).readline)
+                )
+            except (tokenize.TokenError, SyntaxError, IndentationError):
+                tokens = []
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = NOQA_RE.match(tok.string)
+                if match is not None:
+                    cached[tok.start[0]] = tuple(
+                        part.strip() for part in match.group("ids").split(",")
+                    )
+            self._noqa[rel] = cached
+        return cached
+
+    def is_suppressed(self, finding: "Finding") -> bool:
         """True when the finding's line carries ``# noqa: <rule id>``."""
-        info = self._py.get(finding.path)
-        if info is None or not (1 <= finding.line <= len(info.lines)):
-            return False
-        match = _NOQA_RE.search(info.lines[finding.line - 1])
-        if match is None:
-            return False
-        ids = {part.strip() for part in match.group("ids").split(",")}
+        ids = self.noqa_directives(finding.path).get(finding.line, ())
         return finding.rule in ids

@@ -10,12 +10,38 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["Finding", "render_text", "render_json", "JSON_FORMAT"]
+__all__ = ["Finding", "Fix", "render_text", "render_json", "JSON_FORMAT"]
 
 #: schema identifier embedded in every JSON report
 JSON_FORMAT = "repro-pebble/check/v1"
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A span-based rewrite that mechanically resolves a finding.
+
+    Coordinates are 1-based lines and 0-based columns, the same frame
+    the findings use; the span is replaced verbatim by ``replacement``
+    (possibly empty — a deletion).  ``--fix`` applies these and
+    re-checks until clean.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "replacement": self.replacement,
+        }
 
 
 @dataclass(frozen=True)
@@ -28,6 +54,7 @@ class Finding:
     line: int
     col: int
     message: str
+    fix: Optional[Fix] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -37,6 +64,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "fix": self.fix.to_dict() if self.fix is not None else None,
         }
 
 
@@ -44,7 +72,10 @@ def render_text(findings: Sequence[Finding], *, checked_rules: Sequence) -> str:
     """Human-readable report: one ``path:line:col RPxxx message`` per line."""
     lines: List[str] = []
     for f in findings:
-        lines.append(f"{f.path}:{f.line}:{f.col} {f.rule} [{f.severity}] {f.message}")
+        mark = " (autofixable)" if f.fix is not None else ""
+        lines.append(
+            f"{f.path}:{f.line}:{f.col} {f.rule} [{f.severity}] {f.message}{mark}"
+        )
     counts = Counter(f.rule for f in findings)
     if findings:
         summary = ", ".join(f"{rid}={n}" for rid, n in sorted(counts.items()))

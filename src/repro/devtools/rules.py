@@ -88,7 +88,7 @@ def rule(
     if scope not in ("file", "repo"):
         raise ValueError(f"bad scope {scope!r}")
 
-    def register(fn: Callable[..., Iterable[Finding]]):
+    def register(fn: Callable[..., Iterable[Finding]]) -> Callable[..., Iterable[Finding]]:
         if id in _REGISTRY:
             raise ValueError(f"duplicate rule id {id}")
         _REGISTRY[id] = Rule(

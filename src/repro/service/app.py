@@ -59,7 +59,7 @@ _STATUS_PHRASES = {
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, code: str, message: str):
+    def __init__(self, status: int, code: str, message: str) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
@@ -178,7 +178,9 @@ class PebbleService:
             except (ConnectionResetError, BrokenPipeError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _handle_one_request(self, reader, writer) -> bool:
+    async def _handle_one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
         request_line = await reader.readline()
         if not request_line:
             return False
@@ -253,7 +255,12 @@ class PebbleService:
         return keep_alive
 
     async def _respond(
-        self, writer, status: int, payload: Dict[str, Any], *, keep_alive: bool
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        keep_alive: bool,
     ) -> None:
         body = json.dumps(payload).encode()
         phrase = _STATUS_PHRASES.get(status, "Unknown")
@@ -269,9 +276,13 @@ class PebbleService:
 
     # -- routing -------------------------------------------------------
 
-    async def _route(self, method: str, target: str, body: bytes):
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
         path = target.split("?", 1)[0]
-        routes = {
+        # handlers have mixed arities (GET take nothing, POST take the
+        # decoded body), so the table stays loosely typed
+        routes: Dict[str, Tuple[str, Any]] = {
             "/healthz": ("GET", self._get_health),
             "/v1/methods": ("GET", self._get_methods),
             "/v1/specs": ("GET", self._get_specs),
@@ -302,15 +313,15 @@ class PebbleService:
 
     # -- handlers ------------------------------------------------------
 
-    async def _get_health(self):
+    async def _get_health(self) -> Tuple[int, Dict[str, Any]]:
         return 200, {"ok": True, "status": "serving", "version": __version__}
 
-    async def _get_methods(self):
+    async def _get_methods(self) -> Tuple[int, Dict[str, Any]]:
         from ..experiments import method_names
 
         return 200, {"ok": True, "methods": method_names()}
 
-    async def _get_specs(self):
+    async def _get_specs(self) -> Tuple[int, Dict[str, Any]]:
         from ..experiments import all_specs
 
         return 200, {
@@ -326,7 +337,7 @@ class PebbleService:
             ],
         }
 
-    async def _get_stats(self):
+    async def _get_stats(self) -> Tuple[int, Dict[str, Any]]:
         stats: Dict[str, Any] = {"queue": self.queue.stats.to_dict()}
         if self.store is not None:
             store_stats = dict(self.store.stats())
@@ -352,14 +363,14 @@ class PebbleService:
             }
         return status, payload
 
-    async def _post_query(self, payload: Any):
+    async def _post_query(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         try:
             request = schema.parse_query(payload)
         except schema.SchemaError as exc:
             raise _HttpError(400, "bad-request", str(exc)) from exc
         return await self._answer_one(request)
 
-    async def _post_batch(self, payload: Any):
+    async def _post_batch(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
             raise _HttpError(400, "bad-request",
                              "batch body must be {'queries': [...]}")

@@ -18,7 +18,7 @@ __all__ = ["ServiceClient", "ServiceError"]
 class ServiceError(RuntimeError):
     """A non-2xx response from the service."""
 
-    def __init__(self, status: int, payload: Any):
+    def __init__(self, status: int, payload: Any) -> None:
         self.status = status
         self.payload = payload
         error = (payload or {}).get("error", {}) if isinstance(payload, dict) else {}
@@ -36,7 +36,9 @@ class ServiceClient:
     '2'
     """
 
-    def __init__(self, url: str = "http://127.0.0.1:8757", *, timeout: float = 120.0):
+    def __init__(
+        self, url: str = "http://127.0.0.1:8757", *, timeout: float = 120.0
+    ) -> None:
         parts = urlsplit(url if "//" in url else "http://" + url)
         if parts.scheme not in ("http", ""):
             raise ValueError(f"only http:// URLs are supported, got {url!r}")
@@ -87,7 +89,7 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- API -----------------------------------------------------------

@@ -91,7 +91,7 @@ def trivial_lower_bound(
         return nodel_lower_bound(dag, red_limit)
     if model is Model.COMPCOST:
         return compcost_lower_bound(dag, epsilon=epsilon)
-    raise AssertionError(model)  # pragma: no cover
+    raise ValueError(f"unhandled cost model: {model!r}")  # pragma: no cover
 
 
 def nodel_lower_bound(dag: ComputationDAG, red_limit: int) -> Fraction:

@@ -1,0 +1,58 @@
+"""Known-violation fixture for RP007 (resource-release-paths).
+
+The ``devtools: src`` marker opts this module into the rule's scope.
+Three functions leak a tracked resource on some normal CFG path; the
+rest are clean controls for every release/transfer idiom.
+"""
+
+import sqlite3
+from contextlib import closing
+
+from repro.experiments.backends import retire_pipe_worker, spawn_pipe_worker
+
+
+def leak_on_early_return(path, strict):
+    conn = sqlite3.connect(path)  # RP007: 'strict' branch exits unclosed
+    if strict:
+        return None
+    conn.execute("select 1")
+    conn.close()
+    return True
+
+
+def leak_second_pipe_end(ctx):
+    parent, child = ctx.Pipe()  # RP007: 'child' is never released
+    parent.close()
+    return None
+
+
+def leak_on_skipped_branch(ctx, jobs):
+    pool = ctx.Pool(2)  # RP007: terminate only happens when jobs is truthy
+    if jobs:
+        pool.terminate()
+    return len(jobs)
+
+
+def clean_context_manager(path):
+    conn = sqlite3.connect(path)
+    with closing(conn):
+        conn.execute("select 1")
+
+
+def clean_try_finally(ctx):
+    parent, child = ctx.Pipe()
+    try:
+        parent.send(("ping", 0))
+    finally:
+        parent.close()
+        child.close()
+
+
+def clean_ownership_transfer(path):
+    conn = sqlite3.connect(path)
+    return conn
+
+
+def clean_retired_worker(ctx, fn):
+    worker = spawn_pipe_worker(ctx, fn)
+    retire_pipe_worker(worker)

@@ -1,0 +1,5 @@
+"""Miniature solvers package for the RP008 fixture tree."""
+
+from .engine import solve_fixture
+
+__all__ = ["solve_fixture"]

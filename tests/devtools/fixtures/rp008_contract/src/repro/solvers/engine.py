@@ -1,0 +1,34 @@
+"""Fixture solver whose raises break the public exception contract."""
+
+
+class PebblingError(Exception):
+    """Domain-error root (mirrors repro.core.errors)."""
+
+
+class SolverError(PebblingError):
+    """A legal escape: subclass of the allowed base."""
+
+
+def _load_table(kind):
+    if kind not in ("base", "nodel"):
+        raise KeyError(kind)  # RP008: escapes solve_fixture via _load_table
+    return {"base": 1, "nodel": 2}
+
+
+def _probe(kind):
+    try:
+        return _load_table(kind)
+    except LookupError:
+        return {}  # masked here: this call path is NOT flagged
+
+
+def solve_fixture(spec, kind="base"):
+    if spec is None:
+        raise ValueError("spec required")  # allowed by the contract
+    if not isinstance(spec, str):
+        raise RuntimeError("bad spec type")  # RP008: disallowed type
+    _probe(kind)
+    table = _load_table(kind)
+    if not table:
+        raise SolverError("empty table")  # allowed: PebblingError subclass
+    return table

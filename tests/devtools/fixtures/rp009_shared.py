@@ -1,0 +1,36 @@
+"""Known-violation fixture for RP009 (fork-shared-state).
+
+The ``devtools: pipe-worker`` marker opts this module into the rule's
+scope.  The worker loop (a ``Process`` target) and its callee both
+mutate module-level containers — writes a spawned child never shares
+with the parent.  The parent-side registry write is the clean control.
+"""
+
+import multiprocessing as mp
+
+_RESULTS = {}
+_LIMITS = [8, 16]
+_PARENT_REGISTRY = {}
+
+
+def _record(key, value):
+    _RESULTS[key] = value  # RP009: worker-side callee writes a module dict
+
+
+def _worker_loop(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        _record(msg, msg)
+        _LIMITS.append(msg)  # RP009: worker target mutates a module list
+    conn.close()
+
+
+def start_worker(ctx):
+    parent, child = ctx.Pipe()
+    proc = mp.Process(target=_worker_loop, args=(child,))
+    proc.start()
+    child.close()
+    _PARENT_REGISTRY[proc.pid] = parent  # parent-side bookkeeping: legal
+    return parent

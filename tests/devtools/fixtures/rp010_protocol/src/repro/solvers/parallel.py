@@ -1,0 +1,39 @@
+"""Miniature sharded-search module with four kinds of protocol drift."""
+
+import multiprocessing as mp
+
+
+def _worker(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        tag = msg[0]
+        if tag == "solve":
+            conn.send(("status", 0))
+        elif tag == "bound":
+            continue
+        else:
+            conn.send(("oops", msg))  # RP010: parent never handles 'oops'
+    conn.close()
+
+
+def start(ctx):
+    parent, child = ctx.Pipe()
+    proc = mp.Process(target=_worker, args=(child,))
+    proc.start()
+    child.close()
+    return parent, proc
+
+
+def drive(parent):
+    parent.send(("solve", {}))
+    parent.send(("bound", 7))
+    parent.send(("warp", 3))  # RP010: worker never handles 'warp'
+    while parent.poll(0.1):
+        msg = parent.recv()
+        if msg[0] == "status":
+            return msg[1]
+        if msg[0] == "trace":  # RP010: no worker ever sends 'trace'
+            continue
+    return None

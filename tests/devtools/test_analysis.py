@@ -1,0 +1,401 @@
+"""Unit tests for the dataflow layer behind RP007-RP012.
+
+Covers the statement-level CFG (branching, loops, abrupt exits,
+try/finally routing), reaching definitions / use-def chains, the
+repo-wide call graph with import resolution, the exception-propagation
+fixpoint with try/except masking, and the worker-side partition of a
+process-spawning module.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.devtools import RepoIndex
+from repro.devtools.analysis import (
+    CFG,
+    build_call_graph,
+    build_cfg,
+    class_hierarchy,
+    exception_ancestors,
+    exception_propagation,
+    process_targets,
+    reaching_definitions,
+    use_def,
+    worker_side_functions,
+)
+
+
+def _func(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return next(
+        n for n in tree.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+def _cfg(source, **kwargs):
+    return build_cfg(_func(source), **kwargs)
+
+
+def _node_of(cfg, needle):
+    """The CFG node whose statement's source line contains ``needle``."""
+    for nid, stmt in enumerate(cfg.stmts):
+        if stmt is not None and needle in ast.unparse(stmt).splitlines()[0]:
+            return nid
+    raise AssertionError(f"no CFG node matches {needle!r}")
+
+
+def _reaches(cfg, start, goal):
+    seen, stack = set(), [start]
+    while stack:
+        nid = stack.pop()
+        if nid == goal:
+            return True
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(cfg.succ[nid])
+    return False
+
+
+# --------------------------------------------------------------------- #
+# CFG construction
+# --------------------------------------------------------------------- #
+
+
+def test_cfg_straight_line():
+    cfg = _cfg("""
+        def f(x):
+            a = x + 1
+            b = a * 2
+            return b
+    """)
+    a, b, ret = _node_of(cfg, "a ="), _node_of(cfg, "b ="), _node_of(cfg, "return")
+    assert cfg.succ[CFG.ENTRY] == {a}
+    assert cfg.succ[a] == {b}
+    assert cfg.succ[b] == {ret}
+    assert cfg.succ[ret] == {CFG.EXIT}
+
+
+def test_cfg_if_branches_merge():
+    cfg = _cfg("""
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+    """)
+    test = _node_of(cfg, "if x")
+    then, other = _node_of(cfg, "a = 1"), _node_of(cfg, "a = 2")
+    ret = _node_of(cfg, "return")
+    assert cfg.succ[test] == {then, other}
+    assert cfg.succ[then] == cfg.succ[other] == {ret}
+
+
+def test_cfg_if_without_else_falls_through():
+    cfg = _cfg("""
+        def f(x):
+            if x:
+                return 1
+            return 2
+    """)
+    test = _node_of(cfg, "if x")
+    early, late = _node_of(cfg, "return 1"), _node_of(cfg, "return 2")
+    assert cfg.succ[test] == {early, late}
+    assert cfg.succ[early] == {CFG.EXIT}
+
+
+def test_cfg_raise_goes_to_raise_exit_not_exit():
+    cfg = _cfg("""
+        def f(x):
+            if x:
+                raise ValueError(x)
+            return x
+    """)
+    rse = _node_of(cfg, "raise")
+    assert cfg.succ[rse] == {CFG.RAISE_EXIT}
+    assert not _reaches(cfg, rse, CFG.EXIT)
+
+
+def test_cfg_while_true_exits_only_via_break():
+    cfg = _cfg("""
+        def f(conn):
+            while True:
+                msg = conn.recv()
+                if msg is None:
+                    break
+                conn.send(msg)
+            conn.close()
+    """)
+    head = _node_of(cfg, "while True")
+    brk = _node_of(cfg, "break")
+    close = _node_of(cfg, "conn.close")
+    # the loop head never falls through; only break reaches the close
+    assert close not in cfg.succ[head]
+    assert cfg.succ[brk] == {close}
+
+
+def test_cfg_loop_test_can_fail_on_entry():
+    cfg = _cfg("""
+        def f(items):
+            for x in items:
+                use(x)
+            return 0
+    """)
+    head, ret = _node_of(cfg, "for x"), _node_of(cfg, "return")
+    assert ret in cfg.succ[head]
+    body = _node_of(cfg, "use(x)")
+    assert head in cfg.succ[body]  # back edge
+
+
+def test_cfg_return_routes_through_finally():
+    cfg = _cfg("""
+        def f(conn):
+            try:
+                return conn.recv()
+            finally:
+                conn.close()
+    """)
+    ret = _node_of(cfg, "return")
+    close = _node_of(cfg, "conn.close")
+    # the return does NOT go straight to EXIT: the finally runs first
+    assert cfg.succ[ret] == {close}
+    assert CFG.EXIT in cfg.succ[close]
+
+
+def test_cfg_exception_edges_flag():
+    src = """
+        def f(x):
+            try:
+                a = risky(x)
+            except ValueError:
+                a = 0
+            return a
+    """
+    plain, with_exc = _cfg(src), _cfg(src, exception_edges=True)
+    risky_p = _node_of(plain, "a = risky")
+    handler_p = _node_of(plain, "a = 0")
+    assert handler_p not in plain.succ[risky_p]
+    risky_e = _node_of(with_exc, "a = risky")
+    handler_e = _node_of(with_exc, "a = 0")
+    assert handler_e in with_exc.succ[risky_e]
+
+
+def test_cfg_nodes_for_and_preds_are_consistent():
+    cfg = _cfg("""
+        def f(x):
+            y = x
+            return y
+    """)
+    y = _node_of(cfg, "y = x")
+    assert cfg.nodes_for(cfg.stmts[y]) == [y]
+    assert y in cfg.preds()[_node_of(cfg, "return")]
+
+
+# --------------------------------------------------------------------- #
+# reaching definitions / use-def
+# --------------------------------------------------------------------- #
+
+
+def test_reaching_definitions_params_defined_at_entry():
+    cfg = _cfg("""
+        def f(x, *rest, **opts):
+            return x
+    """)
+    ins = reaching_definitions(cfg)
+    ret = _node_of(cfg, "return")
+    assert {("x", CFG.ENTRY), ("rest", CFG.ENTRY), ("opts", CFG.ENTRY)} <= ins[ret]
+
+
+def test_reaching_definitions_rebinding_kills():
+    cfg = _cfg("""
+        def f(x):
+            x = 1
+            x = 2
+            return x
+    """)
+    ins = reaching_definitions(cfg)
+    second = _node_of(cfg, "x = 2")
+    defs_at_return = {d for d in ins[_node_of(cfg, "return")] if d[0] == "x"}
+    assert defs_at_return == {("x", second)}
+
+
+def test_reaching_definitions_branches_merge():
+    cfg = _cfg("""
+        def f(c):
+            if c:
+                a = 1
+            else:
+                a = 2
+            return a
+    """)
+    ins = reaching_definitions(cfg)
+    one, two = _node_of(cfg, "a = 1"), _node_of(cfg, "a = 2")
+    defs = {d for d in ins[_node_of(cfg, "return")] if d[0] == "a"}
+    assert defs == {("a", one), ("a", two)}
+
+
+def test_use_def_chains():
+    cfg = _cfg("""
+        def f(c):
+            a = 1
+            if c:
+                a = 2
+            b = a + 1
+            return b
+    """)
+    chains = use_def(cfg)
+    use = _node_of(cfg, "b = a + 1")
+    assert chains[use]["a"] == {_node_of(cfg, "a = 1"), _node_of(cfg, "a = 2")}
+    test = _node_of(cfg, "if c")
+    assert chains[test]["c"] == {CFG.ENTRY}
+
+
+# --------------------------------------------------------------------- #
+# call graph + exception propagation (on a miniature indexed tree)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def mini_index(tmp_path):
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "util.py").write_text(textwrap.dedent("""
+        class AppError(Exception):
+            pass
+
+
+        class DeepError(AppError):
+            pass
+
+
+        def helper(kind):
+            if kind == "deep":
+                raise DeepError(kind)
+            raise KeyError(kind)
+
+
+        class Gadget:
+            def __init__(self, n):
+                if n < 0:
+                    raise OverflowError(n)
+                self.n = n
+
+            def run(self):
+                return self.spin()
+
+            def spin(self):
+                raise TimeoutError("spin")
+    """), encoding="utf-8")
+    (pkg / "main.py").write_text(textwrap.dedent("""
+        from pkg import util
+        from pkg.util import Gadget, helper
+
+
+        def entry(kind):
+            return helper(kind)
+
+
+        def masked(kind):
+            try:
+                return helper(kind)
+            except LookupError:
+                return None
+
+
+        def reraising(kind):
+            try:
+                return helper(kind)
+            except KeyError:
+                raise
+
+
+        def via_alias(kind):
+            return util.helper(kind)
+
+
+        def builds():
+            return Gadget(3)
+    """), encoding="utf-8")
+    return RepoIndex(tmp_path, paths=["src"])
+
+
+def test_call_graph_resolution(mini_index):
+    graph = build_call_graph(mini_index)
+    calls = graph.calls
+    main, util = "src/pkg/main.py", "src/pkg/util.py"
+    assert calls[f"{main}::entry"] == {f"{util}::helper"}
+    # module-alias attribute calls resolve too
+    assert calls[f"{main}::via_alias"] == {f"{util}::helper"}
+    # class instantiation resolves to __init__
+    assert calls[f"{main}::builds"] == {f"{util}::Gadget.__init__"}
+    # self.method calls resolve within the class
+    assert calls[f"{util}::Gadget.run"] == {f"{util}::Gadget.spin"}
+
+
+def test_class_hierarchy_and_ancestors(mini_index):
+    hierarchy = class_hierarchy(mini_index)
+    assert hierarchy["DeepError"] == ("AppError",)
+    assert exception_ancestors("DeepError", hierarchy) == {
+        "AppError", "Exception", "BaseException",
+    }
+    # builtins come from the baked-in table
+    assert "LookupError" in exception_ancestors("KeyError", hierarchy)
+    # unknown names default to plain Exception
+    assert exception_ancestors("Mystery", hierarchy) == {
+        "Exception", "BaseException",
+    }
+
+
+def test_exception_propagation(mini_index):
+    raised = exception_propagation(mini_index)
+    main, util = "src/pkg/main.py", "src/pkg/util.py"
+    # direct seeding at the raise sites
+    assert set(raised[f"{util}::helper"]) == {"DeepError", "KeyError"}
+    # transitive propagation to the caller, sites kept at the origin
+    entry = raised[f"{main}::entry"]
+    assert set(entry) == {"DeepError", "KeyError"}
+    assert entry["KeyError"].path == util
+    # except LookupError masks KeyError but not the unrelated DeepError
+    assert set(raised[f"{main}::masked"]) == {"DeepError"}
+    # a bare-raise handler does not mask (and seeds nothing new)
+    assert set(raised[f"{main}::reraising"]) == {"DeepError", "KeyError"}
+    # methods raise too
+    assert set(raised[f"{util}::Gadget.run"]) == {"TimeoutError"}
+    assert set(raised[f"{main}::builds"]) == {"OverflowError"}
+
+
+# --------------------------------------------------------------------- #
+# worker-side partition
+# --------------------------------------------------------------------- #
+
+
+def test_worker_side_functions(tmp_path):
+    (tmp_path / "mod.py").write_text(textwrap.dedent("""
+        import multiprocessing as mp
+
+
+        def _leaf(x):
+            return x
+
+
+        def _worker(conn):
+            _leaf(conn.recv())
+
+
+        def _parent_only():
+            return _leaf(1)
+
+
+        def start(ctx):
+            return mp.Process(target=_worker, args=(ctx,))
+    """), encoding="utf-8")
+    index = RepoIndex(tmp_path, paths=["mod.py"])
+    module = index.module("mod.py")
+    assert process_targets(module) == {"_worker"}
+    # the transitive callee _leaf joins the worker side; start stays parent
+    assert worker_side_functions(module) == {"_worker", "_leaf"}

@@ -1,0 +1,194 @@
+"""The span-based autofix engine: spans, overlaps, noqa fixes, fix_all."""
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools import (
+    RepoIndex,
+    apply_baseline,
+    apply_fixes,
+    fix_all,
+    get_rule,
+    load_baseline,
+    run_check,
+    save_baseline,
+)
+from repro.devtools.fix import unused_noqa_fix
+from repro.devtools.report import Finding, Fix
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _index_with(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source), encoding="utf-8")
+    return RepoIndex(tmp_path, paths=[name])
+
+
+def _finding(path, fix):
+    return Finding(
+        rule="RP012", severity="error", path=path,
+        line=fix.line, col=fix.col, message="x", fix=fix,
+    )
+
+
+# --------------------------------------------------------------------- #
+# apply_fixes span mechanics
+# --------------------------------------------------------------------- #
+
+
+def test_apply_fixes_rewrites_spans(tmp_path):
+    index = _index_with(tmp_path, "cost = 1.0\nbound = 2.0\n")
+    applied = apply_fixes(index, [
+        _finding("mod.py", Fix(1, 7, 1, 10, "1")),
+        _finding("mod.py", Fix(2, 8, 2, 11, "2")),
+    ])
+    assert applied == {"mod.py": 2}
+    assert (tmp_path / "mod.py").read_text(encoding="utf-8") == (
+        "cost = 1\nbound = 2\n"
+    )
+
+
+def test_apply_fixes_multiple_spans_on_one_line(tmp_path):
+    index = _index_with(tmp_path, "g = 1.0 + 2.0\n")
+    applied = apply_fixes(index, [
+        _finding("mod.py", Fix(1, 4, 1, 7, "1")),
+        _finding("mod.py", Fix(1, 10, 1, 13, "2")),
+    ])
+    assert applied == {"mod.py": 2}
+    assert (tmp_path / "mod.py").read_text(encoding="utf-8") == "g = 1 + 2\n"
+
+
+def test_apply_fixes_drops_overlaps_for_the_next_round(tmp_path):
+    index = _index_with(tmp_path, "value = 123456\n")
+    applied = apply_fixes(index, [
+        _finding("mod.py", Fix(1, 8, 1, 12, "9")),
+        _finding("mod.py", Fix(1, 10, 1, 14, "8")),  # overlaps: dropped
+    ])
+    assert applied == {"mod.py": 1}
+    assert (tmp_path / "mod.py").read_text(encoding="utf-8") == "value = 956\n"
+
+
+def test_apply_fixes_ignores_unindexed_paths(tmp_path):
+    index = _index_with(tmp_path, "x = 1\n")
+    applied = apply_fixes(index, [
+        _finding("elsewhere.py", Fix(1, 0, 1, 1, "y")),
+    ])
+    assert applied == {}
+
+
+# --------------------------------------------------------------------- #
+# the unused-noqa fix shapes
+# --------------------------------------------------------------------- #
+
+
+def _noqa_fix_applied(tmp_path, line_text, rule_id):
+    index = _index_with(tmp_path, line_text)
+    module = index.module("mod.py")
+    fix = unused_noqa_fix(module, 1, rule_id)
+    assert fix is not None
+    apply_fixes(index, [_finding("mod.py", fix)])
+    return (tmp_path / "mod.py").read_text(encoding="utf-8")
+
+
+def test_noqa_fix_removes_one_id_from_a_comma_list(tmp_path):
+    out = _noqa_fix_applied(tmp_path, "x = 1  # noqa: RP001, RP003\n", "RP001")
+    assert out == "x = 1  # noqa: RP003\n"
+
+
+def test_noqa_fix_removes_a_trailing_id(tmp_path):
+    out = _noqa_fix_applied(tmp_path, "x = 1  # noqa: RP001, RP003\n", "RP003")
+    assert out == "x = 1  # noqa: RP001\n"
+
+
+def test_noqa_fix_removes_a_single_id_comment(tmp_path):
+    out = _noqa_fix_applied(tmp_path, "x = 1  # noqa: RP001\n", "RP001")
+    assert out == "x = 1\n"
+
+
+def test_noqa_fix_removes_a_bare_comment_line(tmp_path):
+    out = _noqa_fix_applied(tmp_path, "# noqa: RP001\nx = 1\n", "RP001")
+    assert out == "x = 1\n"
+
+
+# --------------------------------------------------------------------- #
+# the fix -> re-check loop
+# --------------------------------------------------------------------- #
+
+
+def _copy_fixture(tmp_path, name):
+    (tmp_path / "src").mkdir(exist_ok=True)
+    target = tmp_path / "src" / name
+    target.write_text((FIXTURES / name).read_text(encoding="utf-8"),
+                      encoding="utf-8")
+    return target
+
+
+def test_fix_all_converges_on_the_autofixable_fixtures(tmp_path):
+    _copy_fixture(tmp_path, "rp011_dupes.py")
+    _copy_fixture(tmp_path, "rp012_floats.py")
+    rules = [get_rule("RP011"), get_rule("RP012")]
+    fixed, leftover = fix_all(tmp_path, rules)
+    assert fixed == 7
+    assert leftover == []
+    index = RepoIndex(tmp_path)
+    assert run_check(index, rules=rules) == []
+    # second pass: nothing left to rewrite
+    assert fix_all(tmp_path, rules) == (0, [])
+
+
+def test_fix_all_fixes_unused_noqa(tmp_path):
+    (tmp_path / "src").mkdir()
+    mod = tmp_path / "src" / "mod.py"
+    mod.write_text(
+        '"""devtools: packed-state"""\n'
+        "\n"
+        "\n"
+        "def f(g):\n"
+        "    return g + 1  # noqa: RP012\n",
+        encoding="utf-8",
+    )
+    rules = [get_rule("RP000"), get_rule("RP012")]
+    fixed, leftover = fix_all(tmp_path, rules)
+    assert fixed == 1
+    assert leftover == []
+    assert "noqa" not in mod.read_text(encoding="utf-8")
+
+
+def test_fix_all_reports_unfixable_findings(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(
+        '"""devtools: packed-state"""\n'
+        "\n"
+        "\n"
+        "def f(g):\n"
+        "    bad_cost = g * 0.5\n"  # non-integral: no autofix
+        "    return bad_cost\n",
+        encoding="utf-8",
+    )
+    fixed, leftover = fix_all(tmp_path, [get_rule("RP012")])
+    assert fixed == 0
+    assert [f.rule for f in leftover] == ["RP012"]
+
+
+# --------------------------------------------------------------------- #
+# baseline round-trip
+# --------------------------------------------------------------------- #
+
+
+def test_baseline_roundtrip_multiset(tmp_path):
+    f1 = Finding(rule="RP012", severity="error", path="a.py", line=3, col=0,
+                 message="same")
+    f2 = Finding(rule="RP012", severity="error", path="a.py", line=9, col=0,
+                 message="same")
+    path = tmp_path / "baseline.json"
+    save_baseline(path, [f1, f2])
+    baseline = load_baseline(path)
+    # both occurrences covered; lines may drift without invalidating
+    assert apply_baseline([f1, f2], baseline) == []
+    shifted = Finding(rule="RP012", severity="error", path="a.py", line=40,
+                      col=0, message="same")
+    assert apply_baseline([f1, shifted], baseline) == []
+    # a third occurrence of the same fingerprint is NEW drift
+    third = Finding(rule="RP012", severity="error", path="a.py", line=50,
+                    col=0, message="same")
+    assert apply_baseline([f1, f2, third], baseline) == [third]

@@ -60,6 +60,49 @@ def test_rp006_fires_on_flaky_fixture():
     assert "inside an assert" in messages
 
 
+def test_rp007_fires_on_leak_fixture():
+    found = _findings(FIXTURES, "RP007", paths=["rp007_leaks.py"])
+    assert [(f.line, f.message.split("'")[1]) for f in found] == [
+        (15, "conn"), (24, "child"), (30, "pool"),
+    ]
+    messages = " | ".join(f.message for f in found)
+    # one finding per leaked name; the clean control idioms stay silent
+    assert "sqlite3.connect(...)" in messages
+    assert "Pipe(...)" in messages
+    assert "Pool(...)" in messages
+    assert "clean_" not in messages
+
+
+def test_rp009_fires_on_shared_state_fixture():
+    found = _findings(FIXTURES, "RP009", paths=["rp009_shared.py"])
+    assert len(found) == 2
+    messages = " | ".join(f.message for f in found)
+    assert "_record() writes module-level mutable '_RESULTS'" in messages
+    assert "_worker_loop() writes module-level mutable '_LIMITS'" in messages
+    # the parent-side registry write is legal
+    assert "_PARENT_REGISTRY" not in messages
+
+
+def test_rp011_fires_on_duplicate_dispatch_fixture():
+    found = _findings(FIXTURES, "RP011", paths=["rp011_dupes.py"])
+    assert len(found) == 2
+    assert all(f.fix is not None for f in found)
+    messages = " | ".join(f.message for f in found)
+    assert "`kind == 'chain'` already dispatched at line 11" in messages
+    assert "`kind.startswith('tree:')` already dispatched at line 17" in messages
+
+
+def test_rp012_fires_on_float_cost_fixture():
+    found = _findings(FIXTURES, "RP012", paths=["rp012_floats.py"])
+    assert len(found) == 5
+    assert all(f.fix is not None for f in found)
+    messages = " | ".join(f.message for f in found)
+    for cost in ("'g'", "'best'", "'incumbent'", "'bound'"):
+        assert cost in messages
+    # the timing float in poll_interval() is not cost vocabulary
+    assert "0.005" not in messages
+
+
 # --------------------------------------------------------------------- #
 # cross-file rules: miniature repo trees with injected drift
 # --------------------------------------------------------------------- #
@@ -94,6 +137,43 @@ def test_rp005_fires_on_service_drift_tree():
     assert any("418 can reach clients but is missing" in m for m in messages)
     assert any("documents status 404" in m for m in messages)
     assert len(found) == 3
+
+
+def test_rp008_fires_on_contract_tree():
+    found = _findings(FIXTURES / "rp008_contract", "RP008")
+    assert [(f.path, f.line) for f in found] == [
+        ("src/repro/solvers/engine.py", 14),
+        ("src/repro/solvers/engine.py", 29),
+    ]
+    messages = " | ".join(f.message for f in found)
+    assert "raise KeyError here can escape" in messages
+    assert "raise RuntimeError here can escape" in messages
+    assert "solve_fixture" in messages
+    # ValueError and the PebblingError subclass are inside the contract,
+    # and the LookupError-masked _probe() path is not flagged
+    assert "ValueError here" not in messages
+    assert "SolverError" not in messages
+
+
+def test_rp010_fires_on_protocol_drift_tree():
+    found = _findings(FIXTURES / "rp010_protocol", "RP010")
+    messages = [f.message for f in found]
+    assert any("sends pipe tag 'oops' that the router side never handles" in m
+               for m in messages)
+    assert any("sends pipe tag 'warp' that the worker side never handles" in m
+               for m in messages)
+    assert any("handles pipe tag 'trace' that no worker ever sends" in m
+               for m in messages)
+    assert any("pipe tag 'oops' (worker → parent) is not documented" in m
+               for m in messages)
+    assert any("pipe tag 'warp' (parent → worker) is not documented" in m
+               for m in messages)
+    assert any("documented pipe tag 'retired'" in m and "stale" in m
+               for m in messages)
+    assert len(found) == 6
+    # the in-sync tags stay silent
+    assert not any("'solve'" in m or "'bound'" in m or "'status'" in m
+                   for m in messages)
 
 
 # --------------------------------------------------------------------- #
@@ -143,10 +223,81 @@ def test_select_and_ignore():
 
 def test_rule_catalogue_shape():
     rules = all_rules()
-    assert [r.id for r in rules] == [
-        "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
-    ]
+    assert [r.id for r in rules] == [f"RP{i:03d}" for i in range(13)]
     for r in rules:
         assert r.severity in ("error", "warning")
         assert r.scope in ("file", "repo")
         assert r.description
+    autofixable = {r.id for r in rules if r.autofixable}
+    assert autofixable == {"RP000", "RP001", "RP011", "RP012"}
+    assert get_rule("RP000").severity == "warning"
+
+
+def test_noqa_comma_list_suppresses_each_listed_rule(tmp_path):
+    src = (
+        '"""devtools: packed-state and devtools: spec-grammar"""\n'
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def pick(kind, g):\n"
+        '    if kind == "a":\n'
+        "        return 1\n"
+        '    if kind == "a":  # noqa: RP011,RP012\n'
+        "        return 1\n"
+        "    bad_cost = g + 1.0  # noqa: RP012, RP011\n"
+        "    return bad_cost\n"
+    )
+    (tmp_path / "mod.py").write_text(src, encoding="utf-8")
+    index = RepoIndex(tmp_path, paths=["mod.py"])
+    found = run_check(
+        index, rules=[get_rule("RP011"), get_rule("RP012")]
+    )
+    assert found == []
+
+
+def test_noqa_inside_strings_is_not_a_directive(tmp_path):
+    src = (
+        '"""devtools: packed-state\n'
+        "\n"
+        "Docs may *mention* ``# noqa: RP012`` without suppressing it.\n"
+        '"""\n'
+        "\n"
+        "\n"
+        "def f(g):\n"
+        '    text = "# noqa: RP012"\n'
+        "    bad_cost = g + 1.0\n"
+        "    return bad_cost, text\n"
+    )
+    (tmp_path / "mod.py").write_text(src, encoding="utf-8")
+    found = _findings(tmp_path, "RP012", paths=["mod.py"])
+    assert [f.line for f in found] == [9]
+
+
+def test_rp000_reports_unused_noqa(tmp_path):
+    src = (
+        '"""devtools: packed-state"""\n'
+        "\n"
+        "\n"
+        "def f(g):\n"
+        "    good = g + 1  # noqa: RP012\n"
+        "    bad_cost = g + 1.0  # noqa: RP012\n"
+        "    return good, bad_cost\n"
+    )
+    (tmp_path / "mod.py").write_text(src, encoding="utf-8")
+    index = RepoIndex(tmp_path, paths=["mod.py"])
+    found = run_check(index, rules=[get_rule("RP000"), get_rule("RP012")])
+    # line 6's noqa is used (suppresses RP012); line 5's is dead weight
+    assert [(f.rule, f.line) for f in found] == [("RP000", 5)]
+    assert found[0].severity == "warning"
+    assert "RP012" in found[0].message
+    assert found[0].fix is not None
+
+
+def test_rp000_not_reported_unless_selected(tmp_path):
+    src = (
+        '"""devtools: packed-state"""\n'
+        "\n"
+        "x = 1  # noqa: RP012\n"
+    )
+    (tmp_path / "mod.py").write_text(src, encoding="utf-8")
+    assert _findings(tmp_path, "RP012", paths=["mod.py"]) == []

@@ -1,0 +1,62 @@
+"""The BENCH_<n>.json series is append-only and never overwrites."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "snapshot_bench", REPO_ROOT / "tools" / "snapshot_bench.py"
+)
+snapshot_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(snapshot_bench)
+
+
+def _source(tmp_path):
+    src = tmp_path / "benchmark.json"
+    src.write_text(json.dumps({"benchmarks": []}), encoding="utf-8")
+    return src
+
+
+def test_first_snapshot_is_bench_1(tmp_path):
+    target = snapshot_bench.snapshot(_source(tmp_path), tmp_path)
+    assert target.name == "BENCH_1.json"
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    assert payload["snapshot"]["source"] == "benchmark.json"
+
+
+def test_series_appends_past_the_highest_index(tmp_path):
+    (tmp_path / "BENCH_1.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "BENCH_7.json").write_text("{}", encoding="utf-8")
+    target = snapshot_bench.snapshot(_source(tmp_path), tmp_path)
+    assert target.name == "BENCH_8.json"
+
+
+def test_existing_snapshots_are_never_overwritten(tmp_path):
+    committed = tmp_path / "BENCH_1.json"
+    committed.write_text('{"committed": true}', encoding="utf-8")
+    snapshot_bench.snapshot(_source(tmp_path), tmp_path)
+    assert json.loads(committed.read_text(encoding="utf-8")) == {
+        "committed": True,
+    }
+
+
+def test_lost_race_advances_to_the_next_free_index(tmp_path, monkeypatch):
+    # simulate a concurrent writer landing on the same index first
+    real = snapshot_bench.next_snapshot_path
+    raced = {"done": False}
+
+    def contended(root):
+        target = real(root)
+        if not raced["done"]:
+            raced["done"] = True
+            target.write_text('{"winner": "other"}', encoding="utf-8")
+        return target
+
+    monkeypatch.setattr(snapshot_bench, "next_snapshot_path", contended)
+    target = snapshot_bench.snapshot(_source(tmp_path), tmp_path)
+    assert target.name == "BENCH_2.json"
+    assert json.loads((tmp_path / "BENCH_1.json").read_text(encoding="utf-8")) == {
+        "winner": "other",
+    }

@@ -40,9 +40,17 @@ def snapshot(source, root=REPO_ROOT):
         __version__ = "unknown"
     payload["snapshot"] = {"source": Path(source).name,
                            "repro_version": __version__}
-    target = next_snapshot_path(root)
-    target.write_text(json.dumps(payload, indent=2) + "\n")
-    return target
+    text = json.dumps(payload, indent=2) + "\n"
+    # the series is append-only: exclusive create refuses to overwrite a
+    # committed snapshot, and a lost race just advances to the next index
+    while True:
+        target = next_snapshot_path(root)
+        try:
+            with open(target, "x", encoding="utf-8") as fh:
+                fh.write(text)
+        except FileExistsError:
+            continue
+        return target
 
 
 def main():
